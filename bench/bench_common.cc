@@ -1,0 +1,98 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mtshare::bench {
+
+BenchScale GetScale() {
+  BenchScale scale;
+  const char* fast = std::getenv("MTSHARE_BENCH_FAST");
+  if (fast != nullptr && fast[0] == '1') {
+    scale.peak_requests /= 2;
+    scale.nonpeak_requests /= 2;
+    scale.fleet_sizes = {40, 80, 120, 160};
+    scale.default_fleet = 160;
+    scale.historical_trips /= 2;
+  }
+  return scale;
+}
+
+RoadNetwork MakeBenchCity() {
+  GridCityOptions opt;
+  opt.rows = 48;
+  opt.cols = 48;
+  opt.spacing_m = 150.0;
+  opt.jitter_m = 25.0;
+  opt.seed = 20200961;  // ICDE'20 paper id
+  return MakeGridCity(opt);
+}
+
+BenchEnv::BenchEnv(Window window, const SystemConfig& config,
+                   int32_t num_requests, double offline_fraction,
+                   uint64_t seed, int32_t window_hours)
+    : window_(window), config_(config), network_(MakeBenchCity()) {
+  BenchScale scale = GetScale();
+  DemandModelOptions dopt;
+  dopt.day = window == Window::kPeak ? DayType::kWorkday : DayType::kWeekend;
+  dopt.seed = seed;
+  demand_ = std::make_unique<DemandModel>(network_, dopt);
+  scenario_oracle_ = std::make_unique<DistanceOracle>(network_);
+
+  ScenarioOptions sopt;
+  if (window == Window::kPeak) {
+    sopt.t_begin = 8 * 3600.0;
+    sopt.t_end = sopt.t_begin + window_hours * 3600.0;
+    sopt.num_requests =
+        num_requests > 0 ? num_requests : scale.peak_requests;
+    sopt.offline_fraction = offline_fraction >= 0 ? offline_fraction : 0.0;
+  } else {
+    sopt.t_begin = 10 * 3600.0;
+    sopt.t_end = sopt.t_begin + window_hours * 3600.0;
+    sopt.num_requests =
+        num_requests > 0 ? num_requests : scale.nonpeak_requests;
+    sopt.offline_fraction = offline_fraction >= 0
+                                ? offline_fraction
+                                : scale.nonpeak_offline_fraction;
+  }
+  sopt.rho = config_.rho;
+  sopt.num_historical_trips = scale.historical_trips;
+  sopt.seed = seed + 1;
+  scenario_ = MakeScenario(network_, *demand_, *scenario_oracle_, sopt);
+
+  system_ = std::make_unique<MTShareSystem>(
+      network_, scenario_.HistoricalOdPairs(), config_);
+}
+
+Metrics BenchEnv::Run(SchemeKind scheme, int32_t num_taxis) {
+  return system_->RunScenario(scheme, scenario_.requests, num_taxis,
+                              /*fleet_seed=*/1);
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintHeader(const std::vector<std::string>& columns) {
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("  ------------");
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int precision) {
+  return FormatDouble(value, precision);
+}
+
+}  // namespace mtshare::bench

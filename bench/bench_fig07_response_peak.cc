@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 7: mean per-request response time vs. fleet size in
+// the peak scenario. Paper shape: No-Sharing < 1 ms; T-Share fast; mT-Share
+// slightly above T-Share; pGreedyDP slowest (4-10x over mT-Share); all grow
+// with fleet size. Absolute values differ (paper: Python on i7-6700; ours:
+// C++), ratios are the reproduction target.
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+  BenchEnv env(Window::kPeak);
+  PrintBanner(
+      "Fig. 7 — response time in peak scenario (ms/request)",
+      "paper: No-Sharing <1ms; mT-Share 35-140ms; pGreedyDP 4-10x mT-Share");
+  PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share"});
+  for (int32_t taxis : scale.fleet_sizes) {
+    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
+    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
+    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
+    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
+    PrintRow({std::to_string(taxis), Fmt(none.MeanResponseMs(), 4),
+              Fmt(tshare.MeanResponseMs(), 4),
+              Fmt(pgreedy.MeanResponseMs(), 4),
+              Fmt(mt.MeanResponseMs(), 4)});
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces paper Fig. 8: average detour time vs. fleet size, peak
+// scenario. Paper shape: No-Sharing has zero detour; ridesharing schemes
+// sit at 1-4 minutes and fall as fleets grow; T-Share smallest, mT-Share a
+// close second, pGreedyDP roughly doubles T-Share.
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+  BenchEnv env(Window::kPeak);
+  PrintBanner("Fig. 8 — detour time in peak scenario (minutes)",
+              "paper: T-Share least; mT-Share close (within 31-40% of "
+              "pGreedyDP's, which ~doubles T-Share)");
+  PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share"});
+  for (int32_t taxis : scale.fleet_sizes) {
+    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
+    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
+    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
+    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
+    PrintRow({std::to_string(taxis), Fmt(none.MeanDetourMinutes(), 2),
+              Fmt(tshare.MeanDetourMinutes(), 2),
+              Fmt(pgreedy.MeanDetourMinutes(), 2),
+              Fmt(mt.MeanDetourMinutes(), 2)});
+  }
+  return 0;
+}

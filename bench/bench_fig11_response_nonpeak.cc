@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 11: response time vs. fleet size, nonpeak scenario.
+// Paper shape: No-Sharing/T-Share/pGreedyDP/mT-Share behave as in the peak;
+// mT-Share-pro is 2.5-4.5x slower than mT-Share (probabilistic routing is
+// expensive) yet still answers each request far faster than pGreedyDP in
+// the paper's absolute terms.
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+  BenchEnv env(Window::kNonPeak);
+  PrintBanner("Fig. 11 — response time in nonpeak scenario (ms/request)",
+              "paper: mT-Share-pro 2.5-4.5x slower than mT-Share");
+  PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share",
+               "mT-Share-pro"});
+  for (int32_t taxis : scale.fleet_sizes) {
+    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
+    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
+    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
+    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
+    Metrics pro = env.Run(SchemeKind::kMtSharePro, taxis);
+    PrintRow({std::to_string(taxis), Fmt(none.MeanResponseMs(), 4),
+              Fmt(tshare.MeanResponseMs(), 4),
+              Fmt(pgreedy.MeanResponseMs(), 4), Fmt(mt.MeanResponseMs(), 4),
+              Fmt(pro.MeanResponseMs(), 4)});
+  }
+  return 0;
+}

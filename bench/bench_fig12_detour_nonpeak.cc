@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 12: detour time vs. fleet size, nonpeak scenario.
+// Paper shape: same ordering as the peak for the basic schemes;
+// mT-Share-pro has the largest detour (probabilistic routes chase offline
+// hailers) but stays within ~0.5 min of pGreedyDP.
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+  BenchEnv env(Window::kNonPeak);
+  PrintBanner("Fig. 12 — detour time in nonpeak scenario (minutes)",
+              "paper: mT-Share-pro largest, within ~0.5 min of pGreedyDP");
+  PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share",
+               "mT-Share-pro"});
+  for (int32_t taxis : scale.fleet_sizes) {
+    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
+    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
+    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
+    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
+    Metrics pro = env.Run(SchemeKind::kMtSharePro, taxis);
+    PrintRow({std::to_string(taxis), Fmt(none.MeanDetourMinutes(), 2),
+              Fmt(tshare.MeanDetourMinutes(), 2),
+              Fmt(pgreedy.MeanDetourMinutes(), 2),
+              Fmt(mt.MeanDetourMinutes(), 2),
+              Fmt(pro.MeanDetourMinutes(), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 13: waiting time vs. fleet size, nonpeak scenario.
+// Paper shape: waiting larger than in the peak (fewer requests, longer
+// approaches), falls with fleet size; mT-Share-pro the largest (~2 min over
+// pGreedyDP) because probabilistic routes lengthen approaches.
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+  BenchEnv env(Window::kNonPeak);
+  PrintBanner("Fig. 13 — waiting time in nonpeak scenario (minutes)",
+              "paper: decreasing in fleet size; mT-Share-pro largest");
+  PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share",
+               "mT-Share-pro"});
+  for (int32_t taxis : scale.fleet_sizes) {
+    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
+    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
+    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
+    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
+    Metrics pro = env.Run(SchemeKind::kMtSharePro, taxis);
+    PrintRow({std::to_string(taxis), Fmt(none.MeanWaitingMinutes(), 2),
+              Fmt(tshare.MeanWaitingMinutes(), 2),
+              Fmt(pgreedy.MeanWaitingMinutes(), 2),
+              Fmt(mt.MeanWaitingMinutes(), 2),
+              Fmt(pro.MeanWaitingMinutes(), 2)});
+  }
+  return 0;
+}

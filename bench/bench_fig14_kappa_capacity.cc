@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 14: (a) impact of the partition count kappa and
+// (b) impact of taxi capacity, peak scenario. Paper shape: served requests
+// rise with kappa up to an optimum then fall (too many partitions shrink
+// the candidate sets); larger capacity serves more (~12% from capacity 2
+// to 6 for mT-Share).
+#include "bench_common.h"
+
+using namespace mtshare;
+using namespace mtshare::bench;
+
+int main() {
+  BenchScale scale = GetScale();
+
+  PrintBanner("Fig. 14a — impact of partition count kappa (peak, mT-Share)",
+              "paper: served requests peak at kappa=150 (range 50-250), "
+              "+6% from kappa=50 to the optimum");
+  PrintHeader({"kappa", "partitions", "served", "resp ms"});
+  for (int32_t kappa : {40, 80, 120, 160, 200}) {
+    SystemConfig cfg;
+    cfg.kappa = kappa;
+    BenchEnv env(Window::kPeak, cfg);
+    Metrics m = env.Run(SchemeKind::kMtShare, scale.default_fleet);
+    PrintRow({std::to_string(kappa),
+              std::to_string(env.system().partitioning().num_partitions()),
+              std::to_string(m.ServedRequests()), Fmt(m.MeanResponseMs(), 3)});
+  }
+
+  PrintBanner("Fig. 14b — impact of taxi capacity (peak, mT-Share)",
+              "paper: capacity 6 serves ~12% more than capacity 2");
+  BenchEnv env(Window::kPeak);
+  PrintHeader({"capacity", "served", "detour min"});
+  for (int32_t capacity : {2, 3, 4, 5, 6}) {
+    env.system().set_taxi_capacity(capacity);
+    Metrics m = env.Run(SchemeKind::kMtShare, scale.default_fleet);
+    PrintRow({std::to_string(capacity), std::to_string(m.ServedRequests()),
+              Fmt(m.MeanDetourMinutes(), 2)});
+  }
+  return 0;
+}

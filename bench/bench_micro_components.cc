@@ -1,0 +1,193 @@
+// Micro-benchmarks of the performance-critical components (google-benchmark):
+// shortest-path engines (plain vs A* vs partition-filtered vs oracle-cached),
+// request insertion (exhaustive vs DP), k-means, mobility clustering, and
+// the candidate indexes. These quantify the design choices DESIGN.md calls
+// out: filtered search settles fewer vertices; the oracle makes leg costs
+// O(1); the DP insertion removes an O(m) factor.
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.h"
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "mobility/mobility_clustering.h"
+#include "partition/bipartite_partitioner.h"
+#include "routing/astar.h"
+#include "sched/route_planner.h"
+#include "spatial/grid_index.h"
+
+namespace mtshare {
+namespace {
+
+const RoadNetwork& Net() {
+  static const RoadNetwork* net = [] {
+    GridCityOptions opt;
+    opt.rows = 40;
+    opt.cols = 40;
+    opt.seed = 3;
+    return new RoadNetwork(MakeGridCity(opt));
+  }();
+  return *net;
+}
+
+std::pair<VertexId, VertexId> RandomPair(Rng& rng) {
+  VertexId a = VertexId(rng.NextInt(0, Net().num_vertices() - 1));
+  VertexId b = VertexId(rng.NextInt(0, Net().num_vertices() - 1));
+  return {a, b};
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  DijkstraSearch search(Net());
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [a, b] = RandomPair(rng);
+    benchmark::DoNotOptimize(search.Cost(a, b));
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_AStar(benchmark::State& state) {
+  AStarSearch search(Net());
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [a, b] = RandomPair(rng);
+    benchmark::DoNotOptimize(search.Cost(a, b));
+  }
+}
+BENCHMARK(BM_AStar);
+
+void BM_OracleCost(benchmark::State& state) {
+  DistanceOracle oracle(Net());
+  Rng rng(1);
+  // A working set of sources (taxi locations repeat heavily in practice);
+  // warming them makes the loop measure the O(1) steady state the paper
+  // assumes for shortest-path queries.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (int i = 0; i < 64; ++i) pairs.push_back(RandomPair(rng));
+  for (auto& [a, b] : pairs) oracle.Cost(a, b);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto [a, b] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(oracle.Cost(a, b));
+  }
+}
+BENCHMARK(BM_OracleCost);
+
+void BM_FilteredBasicLeg(benchmark::State& state) {
+  static MapPartitioning partitioning = GridPartition(Net(), 64);
+  static LandmarkGraph landmarks(Net(), partitioning);
+  static DistanceOracle oracle(Net());
+  RoutePlanner planner(Net(), partitioning, landmarks, nullptr, &oracle,
+                       RoutePlannerOptions{});
+  Rng rng(1);
+  for (auto _ : state) {
+    auto [a, b] = RandomPair(rng);
+    benchmark::DoNotOptimize(planner.PlanBasicLeg(a, b));
+  }
+}
+BENCHMARK(BM_FilteredBasicLeg);
+
+InsertionResult RunInsertion(bool dp, const Schedule& base,
+                             const RideRequest& r, DistanceOracle& oracle) {
+  LegCostFn cost = [&](VertexId x, VertexId y) { return oracle.Cost(x, y); };
+  return dp ? FindBestInsertionDp(base, r, 0, 0.0, 0, 4, cost)
+            : FindBestInsertion(base, r, 0, 0.0, 0, 4, cost);
+}
+
+void InsertionBench(benchmark::State& state, bool dp) {
+  static DistanceOracle oracle(Net());
+  Rng rng(7);
+  // Base schedule with three riders.
+  Schedule base;
+  LegCostFn cost = [&](VertexId x, VertexId y) { return oracle.Cost(x, y); };
+  for (int i = 0; i < 3; ++i) {
+    auto [o, d] = RandomPair(rng);
+    if (o == d) continue;
+    RideRequest r;
+    r.id = i;
+    r.origin = o;
+    r.destination = d;
+    r.direct_cost = oracle.Cost(o, d);
+    r.deadline = 3.0 * r.direct_cost;
+    InsertionResult ins = FindBestInsertion(base, r, 0, 0.0, 0, 4, cost);
+    if (ins.found) base = ins.schedule;
+  }
+  RideRequest probe;
+  probe.id = 99;
+  std::tie(probe.origin, probe.destination) = RandomPair(rng);
+  probe.direct_cost = oracle.Cost(probe.origin, probe.destination);
+  probe.deadline = 3.0 * probe.direct_cost;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunInsertion(dp, base, probe, oracle));
+  }
+}
+
+void BM_InsertionExhaustive(benchmark::State& state) {
+  InsertionBench(state, false);
+}
+BENCHMARK(BM_InsertionExhaustive);
+
+void BM_InsertionDp(benchmark::State& state) { InsertionBench(state, true); }
+BENCHMARK(BM_InsertionDp);
+
+void BM_KMeansGeo(benchmark::State& state) {
+  std::vector<double> coords;
+  coords.reserve(size_t(Net().num_vertices()) * 2);
+  for (VertexId v = 0; v < Net().num_vertices(); ++v) {
+    coords.push_back(Net().coord(v).x);
+    coords.push_back(Net().coord(v).y);
+  }
+  KMeansOptions opt;
+  opt.k = int32_t(state.range(0));
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(KMeans(coords, 2, opt, rng));
+  }
+}
+BENCHMARK(BM_KMeansGeo)->Arg(20)->Arg(60);
+
+void BM_BipartitePartition(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<OdPair> trips;
+  for (int i = 0; i < 5000; ++i) {
+    VertexId a = VertexId(rng.NextInt(0, Net().num_vertices() - 1));
+    VertexId b = VertexId(rng.NextInt(0, Net().num_vertices() - 1));
+    if (a != b) trips.emplace_back(a, b);
+  }
+  BipartiteOptions opt;
+  opt.kappa = 48;
+  opt.kt = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BipartitePartition(Net(), trips, opt));
+  }
+}
+BENCHMARK(BM_BipartitePartition)->Unit(benchmark::kMillisecond);
+
+void BM_MobilityClusterAssign(benchmark::State& state) {
+  Rng rng(17);
+  MobilityClustering clustering(0.707);
+  int64_t member = 0;
+  for (auto _ : state) {
+    MobilityVector mv{Point{rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)},
+                      Point{rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)}};
+    clustering.Assign(member++, mv);
+    if (member > 400) {
+      clustering.Remove(member - 400);  // bound the live population
+    }
+  }
+}
+BENCHMARK(BM_MobilityClusterAssign);
+
+void BM_GridIndexRadiusQuery(benchmark::State& state) {
+  GridIndex index(Net(), 200.0);
+  Rng rng(19);
+  for (auto _ : state) {
+    Point q{rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)};
+    benchmark::DoNotOptimize(index.VerticesInRadius(q, 800.0));
+  }
+}
+BENCHMARK(BM_GridIndexRadiusQuery);
+
+}  // namespace
+}  // namespace mtshare
+
+BENCHMARK_MAIN();

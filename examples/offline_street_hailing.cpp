@@ -1,0 +1,60 @@
+// A lazy weekend late morning: a third of the riders never open the app —
+// they stand at the roadside and raise a hand (the paper's *offline*
+// requests, 13.71%-55.39% of real users). This example contrasts plain
+// mT-Share with mT-Share-pro, whose probabilistic routing steers
+// under-loaded taxis through the streets where hailers are statistically
+// likely, so drivers find fares the server never saw.
+//
+//   $ ./build/examples/offline_street_hailing
+#include <cstdio>
+
+#include "core/mtshare_system.h"
+#include "graph/graph_generators.h"
+
+using namespace mtshare;
+
+int main() {
+  GridCityOptions city;
+  city.rows = 32;
+  city.cols = 32;
+  city.spacing_m = 160.0;
+  RoadNetwork network = MakeGridCity(city);
+
+  DemandModelOptions dopt;
+  dopt.day = DayType::kWeekend;
+  DemandModel demand(network, dopt);
+  DistanceOracle oracle(network);
+
+  ScenarioOptions sopt;
+  sopt.t_begin = 10 * 3600.0;
+  sopt.t_end = 11 * 3600.0;
+  sopt.num_requests = 700;
+  sopt.offline_fraction = 1.0 / 3.0;  // street hailers
+  sopt.num_historical_trips = 15000;
+  Scenario scenario = MakeScenario(network, demand, oracle, sopt);
+
+  SystemConfig config;
+  config.kappa = 64;
+  config.kt = 16;
+  MTShareSystem system(network, scenario.HistoricalOdPairs(), config);
+
+  const int32_t fleet = 100;
+  std::printf("weekend 10:00-11:00, %zu requests (%d hailing offline), "
+              "%d taxis\n\n",
+              scenario.requests.size(), scenario.CountOffline(), fleet);
+  std::printf("%-14s %8s %9s %9s %10s %11s\n", "scheme", "served", "online",
+              "offline", "resp(ms)", "detour(min)");
+  for (SchemeKind scheme : {SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
+    Metrics m = system.RunScenario(scheme, scenario.requests, fleet);
+    std::printf("%-14s %8d %9d %9d %10.3f %11.2f\n", SchemeName(scheme),
+                m.ServedRequests(), m.ServedOnline(), m.ServedOffline(),
+                m.MeanResponseMs(), m.MeanDetourMinutes());
+  }
+  std::printf(
+      "\nmT-Share-pro's taxis cruise toward partitions with high historical\n"
+      "trip-origin mass when under-loaded (Algorithm 4), so they cross paths\n"
+      "with street hailers the dispatcher cannot see. The price is a longer\n"
+      "average detour and costlier route planning — the trade the paper\n"
+      "evaluates in its nonpeak scenario (Figs. 10-13, 16).\n");
+  return 0;
+}

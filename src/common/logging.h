@@ -1,0 +1,54 @@
+#ifndef MTSHARE_COMMON_LOGGING_H_
+#define MTSHARE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mtshare {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace mtshare
+
+#define MTSHARE_LOG(level)                                            \
+  ::mtshare::internal_logging::LogMessage(::mtshare::LogLevel::level, \
+                                          __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds; aborts with a message.
+#define MTSHARE_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      MTSHARE_LOG(kError) << "CHECK failed: " #cond;                      \
+      ::abort();                                                          \
+    }                                                                     \
+  } while (0)
+
+#endif  // MTSHARE_COMMON_LOGGING_H_

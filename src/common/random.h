@@ -1,0 +1,57 @@
+#ifndef MTSHARE_COMMON_RANDOM_H_
+#define MTSHARE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtshare {
+
+/// Deterministic, fast PRNG (xoshiro256**). All stochastic components of the
+/// library (generators, k-means seeding, scenario sampling) draw from this
+/// type so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double NextExponential(double rate);
+
+  /// Samples an index with probability proportional to weights[i].
+  /// Zero-total weights fall back to uniform. Requires !weights.empty().
+  std::size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_COMMON_RANDOM_H_

@@ -1,0 +1,101 @@
+#ifndef MTSHARE_COMMON_STATUS_H_
+#define MTSHARE_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mtshare {
+
+/// Coarse error taxonomy used across the library. Modeled after the
+/// Status idiom common in database engines (Arrow, RocksDB): recoverable
+/// errors travel by value instead of by exception.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short stable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value or an error. Minimal StatusOr: enough for loader/config APIs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so callers can `return value;`
+  /// or `return Status::...;` symmetrically (matches absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Dies via the optional's UB otherwise — callers
+  /// must check ok() first; tests enforce the discipline.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mtshare
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define MTSHARE_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::mtshare::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // MTSHARE_COMMON_STATUS_H_

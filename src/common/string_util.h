@@ -1,0 +1,27 @@
+#ifndef MTSHARE_COMMON_STRING_UTIL_H_
+#define MTSHARE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtshare {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Parses a double; returns false on malformed/trailing input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Fixed-precision formatting helper for benchmark tables.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_COMMON_STRING_UTIL_H_

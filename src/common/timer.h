@@ -1,0 +1,32 @@
+#ifndef MTSHARE_COMMON_TIMER_H_
+#define MTSHARE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mtshare {
+
+/// Monotonic wall-clock stopwatch. The paper reports per-request response
+/// times (Figs. 7/11/21b) measured on the serving machine; WallTimer is the
+/// instrument our harnesses use for the same metric.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_COMMON_TIMER_H_

@@ -1,0 +1,98 @@
+#include "core/mtshare_system.h"
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+const char* SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNoSharing:
+      return "No-Sharing";
+    case SchemeKind::kTShare:
+      return "T-Share";
+    case SchemeKind::kPGreedyDp:
+      return "pGreedyDP";
+    case SchemeKind::kMtShare:
+      return "mT-Share";
+    case SchemeKind::kMtSharePro:
+      return "mT-Share-pro";
+  }
+  return "?";
+}
+
+MTShareSystem::MTShareSystem(const RoadNetwork& network,
+                             const std::vector<OdPair>& historical_trips,
+                             const SystemConfig& config)
+    : network_(network), config_(config) {
+  Status st = config.Validate();
+  if (!st.ok()) {
+    MTSHARE_LOG(kError) << "invalid SystemConfig: " << st;
+  }
+  MTSHARE_CHECK(st.ok());
+
+  if (config.bipartite_partitioning) {
+    BipartiteOptions opts;
+    opts.kappa = config.kappa;
+    opts.kt = config.kt;
+    opts.seed = config.seed;
+    partitioning_ = BipartitePartition(network, historical_trips, opts);
+  } else {
+    partitioning_ = GridPartition(network, config.kappa);
+  }
+  landmarks_ = std::make_unique<LandmarkGraph>(network, partitioning_);
+  transitions_ = TransitionModel::Build(
+      network.num_vertices(), partitioning_.num_partitions(),
+      partitioning_.vertex_partition, historical_trips);
+  oracle_ = std::make_unique<DistanceOracle>(network);
+}
+
+std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
+    SchemeKind scheme, std::vector<TaxiState>* fleet) {
+  MatchingConfig mc = config_.matching;
+  switch (scheme) {
+    case SchemeKind::kNoSharing:
+      return std::make_unique<NoSharingDispatcher>(network_, oracle_.get(),
+                                                   fleet, mc);
+    case SchemeKind::kTShare:
+      return std::make_unique<TShareDispatcher>(network_, oracle_.get(),
+                                                fleet, mc);
+    case SchemeKind::kPGreedyDp:
+      return std::make_unique<PGreedyDpDispatcher>(network_, oracle_.get(),
+                                                   fleet, mc);
+    case SchemeKind::kMtShare:
+      mc.probabilistic = false;
+      return std::make_unique<MtShareDispatcher>(network_, oracle_.get(),
+                                                 fleet, mc, partitioning_,
+                                                 *landmarks_, &transitions_);
+    case SchemeKind::kMtSharePro:
+      mc.probabilistic = true;
+      return std::make_unique<MtShareDispatcher>(network_, oracle_.get(),
+                                                 fleet, mc, partitioning_,
+                                                 *landmarks_, &transitions_);
+  }
+  MTSHARE_CHECK(false);
+  return nullptr;
+}
+
+Metrics MTShareSystem::RunScenario(SchemeKind scheme,
+                                   const std::vector<RideRequest>& requests,
+                                   int32_t num_taxis, uint64_t fleet_seed,
+                                   bool serve_offline) {
+  Seconds start_time =
+      requests.empty() ? 0.0 : requests.front().release_time;
+  std::vector<TaxiState> fleet = MakeFleet(
+      network_, num_taxis, config_.taxi_capacity, fleet_seed, start_time);
+  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(scheme, &fleet);
+  EngineOptions eopts;
+  eopts.serve_offline = serve_offline;
+  eopts.payment = config_.payment;
+  SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
+  return engine.Run(requests);
+}
+
+size_t MTShareSystem::SharedIndexMemoryBytes() const {
+  return partitioning_.MemoryBytes() + landmarks_->MemoryBytes() +
+         transitions_.MemoryBytes();
+}
+
+}  // namespace mtshare

@@ -1,0 +1,92 @@
+#ifndef MTSHARE_CORE_MTSHARE_SYSTEM_H_
+#define MTSHARE_CORE_MTSHARE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system_config.h"
+#include "demand/request_generator.h"
+#include "matching/mt_share.h"
+#include "matching/no_sharing.h"
+#include "matching/pgreedy_dp.h"
+#include "matching/t_share.h"
+#include "sim/engine.h"
+
+namespace mtshare {
+
+/// Which matching scheme a run uses (the paper's compared schemes,
+/// Sec. V-A2).
+enum class SchemeKind {
+  kNoSharing,
+  kTShare,
+  kPGreedyDp,
+  kMtShare,
+  kMtSharePro,
+};
+
+const char* SchemeName(SchemeKind kind);
+
+/// Top-level facade: builds the whole mT-Share stack (map partitioning,
+/// landmark graph, transition statistics, distance oracle) from a road
+/// network and historical trips, then runs request streams under any of
+/// the compared schemes. One instance can run many scenarios; each run
+/// starts from a fresh fleet.
+///
+/// This is the entry point examples and benches use:
+///
+///   MTShareSystem system(network, historical_od_pairs, config);
+///   Metrics m = system.RunScenario(SchemeKind::kMtShare, requests,
+///                                  /*num_taxis=*/300);
+class MTShareSystem {
+ public:
+  /// Builds the indexes. Dies on invalid config (call config.Validate()
+  /// first for recoverable handling).
+  MTShareSystem(const RoadNetwork& network,
+                const std::vector<OdPair>& historical_trips,
+                const SystemConfig& config);
+
+  /// Runs one scenario under a scheme with a fresh fleet of `num_taxis`.
+  /// `fleet_seed` controls initial taxi placement; requests must be sorted
+  /// with dense ids.
+  Metrics RunScenario(SchemeKind scheme,
+                      const std::vector<RideRequest>& requests,
+                      int32_t num_taxis, uint64_t fleet_seed = 1,
+                      bool serve_offline = true);
+
+  /// Creates a dispatcher bound to `fleet` (advanced use: custom engines).
+  std::unique_ptr<Dispatcher> MakeDispatcher(SchemeKind scheme,
+                                             std::vector<TaxiState>* fleet);
+
+  const RoadNetwork& network() const { return network_; }
+  const MapPartitioning& partitioning() const { return partitioning_; }
+  const LandmarkGraph& landmarks() const { return *landmarks_; }
+  const TransitionModel& transitions() const { return transitions_; }
+  DistanceOracle& oracle() { return *oracle_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Overrides the matching parameters for subsequent runs without
+  /// rebuilding partitions (gamma/lambda/probabilistic sweeps).
+  void set_matching(const MatchingConfig& matching) {
+    config_.matching = matching;
+  }
+  /// Overrides the fleet capacity for subsequent runs.
+  void set_taxi_capacity(int32_t capacity) { config_.taxi_capacity = capacity; }
+
+  /// Resident bytes of the shared mobility structures (partitioning +
+  /// landmark graph + transition statistics) — part of the Table IV
+  /// accounting.
+  size_t SharedIndexMemoryBytes() const;
+
+ private:
+  const RoadNetwork& network_;
+  SystemConfig config_;
+  MapPartitioning partitioning_;
+  std::unique_ptr<LandmarkGraph> landmarks_;
+  TransitionModel transitions_;
+  std::unique_ptr<DistanceOracle> oracle_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_CORE_MTSHARE_SYSTEM_H_

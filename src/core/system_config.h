@@ -1,0 +1,47 @@
+#ifndef MTSHARE_CORE_SYSTEM_CONFIG_H_
+#define MTSHARE_CORE_SYSTEM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "matching/dispatcher.h"
+#include "partition/bipartite_partitioner.h"
+#include "payment/payment_model.h"
+
+namespace mtshare {
+
+/// Full system configuration aggregating every paper parameter (Table II)
+/// with its default. Validation catches nonsensical combinations before a
+/// run starts.
+struct SystemConfig {
+  // --- matching / routing (Table II) ---
+  MatchingConfig matching;
+
+  // --- map partitioning ---
+  /// Number of spatial partitions kappa (paper sweeps 50-250; our scaled
+  /// default matches the network sizes the benches use).
+  int32_t kappa = 120;
+  /// Transition clusters k_t (paper default 20).
+  int32_t kt = 20;
+  /// Use bipartite (mobility-aware) partitioning; false = uniform grid
+  /// (the Table V ablation).
+  bool bipartite_partitioning = true;
+
+  // --- fleet / requests ---
+  int32_t taxi_capacity = 3;
+  /// Deadline flexibility rho (eq. (9), default 1.3).
+  double rho = 1.3;
+
+  // --- payment (Sec. IV-D) ---
+  PaymentConfig payment;
+
+  uint64_t seed = 42;
+
+  /// Returns OK or the first violated constraint.
+  Status Validate() const;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_CORE_SYSTEM_CONFIG_H_

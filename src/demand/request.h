@@ -1,0 +1,35 @@
+#ifndef MTSHARE_DEMAND_REQUEST_H_
+#define MTSHARE_DEMAND_REQUEST_H_
+
+#include "common/types.h"
+
+namespace mtshare {
+
+/// A ride request r_i = <t, o, d, e> (paper Def. 2). Online requests reach
+/// the dispatcher at release_time; offline requests stay invisible until a
+/// shared taxi encounters their origin vertex while they are waiting.
+struct RideRequest {
+  RequestId id = kInvalidRequest;
+  Seconds release_time = 0.0;
+  VertexId origin = kInvalidVertex;
+  VertexId destination = kInvalidVertex;
+  /// Delivery deadline e (paper eq. (9): t + rho * cost(o, d)).
+  Seconds deadline = 0.0;
+  /// Direct shortest travel cost cost(o, d), cached at generation.
+  Seconds direct_cost = 0.0;
+  /// Riders in the party (counts against taxi capacity).
+  int32_t passengers = 1;
+  /// True for roadside-hailing requests never submitted to the system.
+  bool offline = false;
+
+  /// Latest pickup time that still allows an on-time delivery via the
+  /// direct route: e - cost(o, d) (paper Sec. III-A).
+  Seconds PickupDeadline() const { return deadline - direct_cost; }
+
+  /// The waiting budget Delta-t of paper eq. (2).
+  Seconds WaitBudget() const { return deadline - direct_cost - release_time; }
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_DEMAND_REQUEST_H_

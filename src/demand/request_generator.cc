@@ -1,0 +1,74 @@
+#include "demand/request_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+std::vector<OdPair> Scenario::HistoricalOdPairs() const {
+  std::vector<OdPair> pairs;
+  pairs.reserve(historical_trips.size());
+  for (const Trip& t : historical_trips) {
+    pairs.emplace_back(t.origin, t.destination);
+  }
+  return pairs;
+}
+
+int32_t Scenario::CountOffline() const {
+  int32_t n = 0;
+  for (const RideRequest& r : requests) n += r.offline ? 1 : 0;
+  return n;
+}
+
+Scenario MakeScenario(const RoadNetwork& network, const DemandModel& demand,
+                      DistanceOracle& oracle, const ScenarioOptions& options) {
+  MTSHARE_CHECK(options.rho > 1.0);
+  MTSHARE_CHECK(options.offline_fraction >= 0.0 &&
+                options.offline_fraction <= 1.0);
+  Rng rng(options.seed);
+  Scenario scenario;
+
+  // Historical trips span the whole day so the transition statistics see
+  // every diurnal regime, as the paper trains on the full dataset minus the
+  // evaluation window.
+  scenario.historical_trips = demand.GenerateTrips(
+      0.0, 86400.0, options.num_historical_trips, rng);
+
+  std::vector<Trip> trips =
+      demand.GenerateTrips(options.t_begin, options.t_end,
+                           options.num_requests, rng);
+  scenario.requests.reserve(trips.size());
+  RequestId next_id = 0;
+  for (Trip& trip : trips) {
+    Seconds direct = oracle.Cost(trip.origin, trip.destination);
+    for (int attempt = 0; attempt < 8 && (direct == kInfiniteCost ||
+                                          trip.origin == trip.destination);
+         ++attempt) {
+      trip = demand.SampleTrip(trip.release_time, rng);
+      direct = oracle.Cost(trip.origin, trip.destination);
+    }
+    if (direct == kInfiniteCost || trip.origin == trip.destination) {
+      continue;  // pathological sample; drop (SCC networks make this rare)
+    }
+    RideRequest r;
+    r.id = next_id++;
+    r.release_time = trip.release_time;
+    r.origin = trip.origin;
+    r.destination = trip.destination;
+    r.direct_cost = direct;
+    r.deadline = trip.release_time + options.rho * direct;
+    r.passengers = 1;
+    if (rng.NextDouble() < options.multi_rider_fraction &&
+        options.max_party > 1) {
+      r.passengers =
+          static_cast<int32_t>(rng.NextInt(2, options.max_party));
+    }
+    r.offline = rng.NextDouble() < options.offline_fraction;
+    scenario.requests.push_back(r);
+  }
+  // GenerateTrips sorts by time; dropped samples keep order intact.
+  return scenario;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,55 @@
+#ifndef MTSHARE_DEMAND_REQUEST_GENERATOR_H_
+#define MTSHARE_DEMAND_REQUEST_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "demand/demand_model.h"
+#include "demand/request.h"
+#include "demand/trip.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+
+/// Parameters of an evaluation scenario (paper Sec. V-A1).
+struct ScenarioOptions {
+  /// Scenario window, seconds since midnight. Peak: 8:00-9:00 workday;
+  /// nonpeak: 10:00-11:00 weekend.
+  Seconds t_begin = 8 * 3600.0;
+  Seconds t_end = 9 * 3600.0;
+  /// Requests released inside the window.
+  int32_t num_requests = 5000;
+  /// Fraction marked offline (hidden until encountered). Paper nonpeak:
+  /// 5000 of 15480 ~ 32%; peak: 0.
+  double offline_fraction = 0.0;
+  /// Deadline flexibility rho: deadline = t + rho * cost(o, d) (eq. (9),
+  /// Table II default 1.3).
+  double rho = 1.3;
+  /// Riders per request (1..capacity); >1 sampled with small probability.
+  double multi_rider_fraction = 0.15;
+  int32_t max_party = 2;
+  /// Historical trips to generate for the transition statistics ("the rest
+  /// of the taxi data" in Sec. V-A1).
+  int32_t num_historical_trips = 40000;
+  uint64_t seed = 29;
+};
+
+/// A fully materialized scenario: the request stream the dispatcher will
+/// see plus the historical trips that train the mobility statistics.
+struct Scenario {
+  std::vector<RideRequest> requests;  // sorted by release time
+  std::vector<Trip> historical_trips;
+
+  std::vector<OdPair> HistoricalOdPairs() const;
+  int32_t CountOffline() const;
+};
+
+/// Builds a scenario: samples trips from the demand model, snaps deadlines
+/// via the oracle, marks a random subset offline. Requests whose
+/// origin/destination coincide or are unreachable are resampled.
+Scenario MakeScenario(const RoadNetwork& network, const DemandModel& demand,
+                      DistanceOracle& oracle, const ScenarioOptions& options);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_DEMAND_REQUEST_GENERATOR_H_

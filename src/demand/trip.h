@@ -1,0 +1,19 @@
+#ifndef MTSHARE_DEMAND_TRIP_H_
+#define MTSHARE_DEMAND_TRIP_H_
+
+#include "common/types.h"
+
+namespace mtshare {
+
+/// A historical taxi transaction reduced to what the pipeline consumes:
+/// when it was requested and where it went (the Didi GAIA schema's release
+/// time + pickup/dropoff coordinates, snapped to graph vertices).
+struct Trip {
+  Seconds release_time = 0.0;
+  VertexId origin = kInvalidVertex;
+  VertexId destination = kInvalidVertex;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_DEMAND_TRIP_H_

@@ -1,0 +1,104 @@
+#include "demand/trip_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mtshare {
+
+Result<TripCsvResult> LoadTripCsv(const std::string& path,
+                                  const RoadNetwork& network,
+                                  const GridIndex& snap,
+                                  const TripCsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  Projection projection(options.projection_origin);
+
+  TripCsvResult result;
+  std::string line;
+  int line_no = 0;
+  Seconds min_release = kInfiniteCost;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = Trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string> fields = Split(text, ',');
+    auto malformed = [&](const char* why) {
+      std::ostringstream os;
+      os << path << ":" << line_no << ": " << why;
+      return Status::InvalidArgument(os.str());
+    };
+    if (fields.size() != 7) {
+      return malformed("expected 7 fields: txn,taxi,ts,plng,plat,dlng,dlat");
+    }
+    double ts = 0.0;
+    double plng = 0.0;
+    double plat = 0.0;
+    double dlng = 0.0;
+    double dlat = 0.0;
+    if (!ParseDouble(fields[2], &ts) || !ParseDouble(fields[3], &plng) ||
+        !ParseDouble(fields[4], &plat) || !ParseDouble(fields[5], &dlng) ||
+        !ParseDouble(fields[6], &dlat)) {
+      return malformed("bad numeric field");
+    }
+    ++result.parsed_lines;
+
+    Point pickup = projection.Project(LatLng{plat, plng});
+    Point dropoff = projection.Project(LatLng{dlat, dlng});
+    VertexId origin = snap.NearestVertex(pickup);
+    VertexId dest = snap.NearestVertex(dropoff);
+    if (origin == kInvalidVertex || dest == kInvalidVertex) {
+      ++result.dropped_snap;
+      continue;
+    }
+    if (options.max_snap_distance_m > 0 &&
+        (Distance(network.coord(origin), pickup) >
+             options.max_snap_distance_m ||
+         Distance(network.coord(dest), dropoff) >
+             options.max_snap_distance_m)) {
+      ++result.dropped_snap;
+      continue;
+    }
+    if (origin == dest) {
+      ++result.dropped_degenerate;
+      continue;
+    }
+    result.trips.push_back(Trip{ts, origin, dest});
+    min_release = std::min(min_release, ts);
+  }
+
+  if (options.rebase_to >= 0.0 && !result.trips.empty()) {
+    for (Trip& t : result.trips) {
+      t.release_time = t.release_time - min_release + options.rebase_to;
+    }
+  }
+  std::sort(result.trips.begin(), result.trips.end(),
+            [](const Trip& a, const Trip& b) {
+              return a.release_time < b.release_time;
+            });
+  return result;
+}
+
+Status SaveTripCsv(const std::string& path, const std::vector<Trip>& trips,
+                   const RoadNetwork& network, const TripCsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  Projection projection(options.projection_origin);
+  out << "# txn,taxi,release_ts,pickup_lng,pickup_lat,dropoff_lng,"
+         "dropoff_lat\n";
+  out.precision(10);
+  int64_t txn = 0;
+  for (const Trip& t : trips) {
+    LatLng p = projection.Unproject(network.coord(t.origin));
+    LatLng d = projection.Unproject(network.coord(t.destination));
+    out << txn << "," << (txn % 997) << "," << t.release_time << "," << p.lng
+        << "," << p.lat << "," << d.lng << "," << d.lat << "\n";
+    ++txn;
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mtshare

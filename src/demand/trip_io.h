@@ -1,0 +1,57 @@
+#ifndef MTSHARE_DEMAND_TRIP_IO_H_
+#define MTSHARE_DEMAND_TRIP_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "demand/trip.h"
+#include "geo/latlng.h"
+#include "graph/road_network.h"
+#include "spatial/grid_index.h"
+
+namespace mtshare {
+
+/// Loader for taxi-transaction CSVs in the Didi GAIA layout used by the
+/// paper (Sec. V-A1): one transaction per line,
+///
+///   transaction_id,taxi_id,release_unix_ts,pickup_lng,pickup_lat,
+///   dropoff_lng,dropoff_lat
+///
+/// Lines starting with '#' are comments. Coordinates are projected around
+/// `projection_origin` and snapped to the nearest network vertex (the paper
+/// premaps every request endpoint to the closest road vertex, Sec. V-A4).
+struct TripCsvOptions {
+  LatLng projection_origin{30.657, 104.066};  // Chengdu city center
+  /// Transactions whose endpoints snap farther than this are dropped
+  /// (off-map GPS noise). <= 0 disables the filter.
+  double max_snap_distance_m = 500.0;
+  /// Release timestamps are shifted so the earliest trip starts at this
+  /// simulation time. Negative keeps raw timestamps.
+  Seconds rebase_to = 0.0;
+};
+
+struct TripCsvResult {
+  std::vector<Trip> trips;  ///< sorted by release time
+  int64_t parsed_lines = 0;
+  int64_t dropped_snap = 0;  ///< endpoints too far from the network
+  int64_t dropped_degenerate = 0;  ///< origin == destination after snapping
+};
+
+/// Parses the CSV; returns IoError / InvalidArgument with a line reference
+/// on malformed input.
+Result<TripCsvResult> LoadTripCsv(const std::string& path,
+                                  const RoadNetwork& network,
+                                  const GridIndex& snap,
+                                  const TripCsvOptions& options = {});
+
+/// Writes trips in the same layout (vertex coordinates are unprojected
+/// back around the projection origin), so synthetic workloads can be
+/// exchanged with tools expecting the GAIA schema.
+Status SaveTripCsv(const std::string& path, const std::vector<Trip>& trips,
+                   const RoadNetwork& network,
+                   const TripCsvOptions& options = {});
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_DEMAND_TRIP_IO_H_

@@ -1,0 +1,54 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace mtshare {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlng = (b.lng - a.lng) * kDegToRad;
+  double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                 std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+Projection::Projection(const LatLng& origin)
+    : origin_(origin),
+      meters_per_deg_lat_(kEarthRadiusMeters * kDegToRad),
+      meters_per_deg_lng_(kEarthRadiusMeters * kDegToRad *
+                          std::cos(origin.lat * kDegToRad)) {}
+
+Point Projection::Project(const LatLng& coord) const {
+  return Point{(coord.lng - origin_.lng) * meters_per_deg_lng_,
+               (coord.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLng Projection::Unproject(const Point& point) const {
+  return LatLng{origin_.lat + point.y / meters_per_deg_lat_,
+                origin_.lng + point.x / meters_per_deg_lng_};
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace mtshare

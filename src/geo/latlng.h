@@ -1,0 +1,50 @@
+#ifndef MTSHARE_GEO_LATLNG_H_
+#define MTSHARE_GEO_LATLNG_H_
+
+namespace mtshare {
+
+/// A WGS84 coordinate, degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+};
+
+/// A point on the local city plane, meters. All internal geometry (road
+/// networks, indexes, mobility vectors) uses this planar frame; real-world
+/// datasets are projected once at load time.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+bool operator==(const Point& a, const Point& b);
+
+/// Great-circle distance in meters (haversine).
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// Equirectangular projection centered at a reference coordinate. Accurate
+/// to well under 0.1% over a metropolitan extent (tens of km), which is all
+/// the ridesharing pipeline needs.
+class Projection {
+ public:
+  explicit Projection(const LatLng& origin);
+
+  Point Project(const LatLng& coord) const;
+  LatLng Unproject(const Point& point) const;
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+/// Euclidean distance on the city plane, meters.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops).
+double DistanceSquared(const Point& a, const Point& b);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_GEO_LATLNG_H_

@@ -1,0 +1,85 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mtshare {
+
+Status SaveEdgeList(const RoadNetwork& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# mtshare edge list: v,x,y then e,tail,head,length_m,speed_factor\n";
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    const Point& p = network.coord(v);
+    out << "v," << p.x << "," << p.y << "\n";
+  }
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    for (const Arc& arc : network.OutArcs(v)) {
+      double factor = arc.length_m / (arc.cost * network.speed_mps());
+      out << "e," << v << "," << arc.head << "," << arc.length_m << ","
+          << factor << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<RoadNetwork> LoadEdgeList(const std::string& path, double speed_mps) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  RoadNetwork::Builder builder(speed_mps);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = Trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    std::vector<std::string> fields = Split(text, ',');
+    auto malformed = [&](const char* why) {
+      std::ostringstream os;
+      os << path << ":" << line_no << ": " << why << ": " << line;
+      return Status::InvalidArgument(os.str());
+    };
+    if (fields[0] == "v") {
+      if (fields.size() != 3) return malformed("vertex needs v,x,y");
+      double x = 0.0;
+      double y = 0.0;
+      if (!ParseDouble(fields[1], &x) || !ParseDouble(fields[2], &y)) {
+        return malformed("bad vertex coordinates");
+      }
+      builder.AddVertex(Point{x, y});
+    } else if (fields[0] == "e") {
+      if (fields.size() != 4 && fields.size() != 5) {
+        return malformed("edge needs e,tail,head,length[,factor]");
+      }
+      int64_t u = 0;
+      int64_t v = 0;
+      double length = 0.0;
+      double factor = 1.0;
+      if (!ParseInt64(fields[1], &u) || !ParseInt64(fields[2], &v) ||
+          !ParseDouble(fields[3], &length)) {
+        return malformed("bad edge fields");
+      }
+      if (fields.size() == 5 && !ParseDouble(fields[4], &factor)) {
+        return malformed("bad speed factor");
+      }
+      if (u < 0 || v < 0 || u >= builder.num_vertices() ||
+          v >= builder.num_vertices()) {
+        return malformed("edge references unknown vertex");
+      }
+      if (length <= 0.0 || factor <= 0.0) {
+        return malformed("edge length/factor must be positive");
+      }
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                      length, factor);
+    } else {
+      return malformed("unknown record type");
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mtshare

@@ -1,0 +1,23 @@
+#ifndef MTSHARE_GRAPH_GRAPH_IO_H_
+#define MTSHARE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/road_network.h"
+
+namespace mtshare {
+
+/// Plain-text network interchange format, one record per line:
+///   v,<x_meters>,<y_meters>                     (vertices first, in id order)
+///   e,<tail>,<head>,<length_m>[,<speed_factor>]
+/// Lines starting with '#' are comments. This is the bridge for running the
+/// library on a real OSM extract (see DESIGN.md substitution table).
+Status SaveEdgeList(const RoadNetwork& network, const std::string& path);
+
+Result<RoadNetwork> LoadEdgeList(const std::string& path,
+                                 double speed_mps = 15.0 * 1000.0 / 3600.0);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,120 @@
+#include "matching/dispatcher.h"
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+Dispatcher::Dispatcher(const RoadNetwork& network, DistanceOracle* oracle,
+                       std::vector<TaxiState>* fleet,
+                       const MatchingConfig& config)
+    : network_(network),
+      oracle_(oracle),
+      fleet_(fleet),
+      config_(config),
+      route_dijkstra_(network) {
+  MTSHARE_CHECK(oracle != nullptr);
+  MTSHARE_CHECK(fleet != nullptr);
+}
+
+LegCostFn Dispatcher::OracleCost() {
+  return [this](VertexId a, VertexId b) { return oracle_->Cost(a, b); };
+}
+
+RoutePlanner::PlannedRoute Dispatcher::PlanShortestRoute(
+    VertexId start, Seconds start_time, const Schedule& schedule) {
+  RoutePlanner::PlannedRoute out;
+  out.path = Path::Trivial(start);
+  Seconds t = start_time;
+  VertexId at = start;
+  for (const ScheduleEvent& event : schedule.events()) {
+    Path leg = at == event.vertex ? Path::Trivial(at)
+                                  : route_dijkstra_.FindPath(at, event.vertex);
+    if (!leg.valid) return RoutePlanner::PlannedRoute{};
+    t += leg.cost;
+    if (t > event.deadline + 1e-9) return RoutePlanner::PlannedRoute{};
+    out.path = ConcatPaths(out.path, leg);
+    out.event_arrivals.push_back(t);
+    at = event.vertex;
+  }
+  out.valid = true;
+  return out;
+}
+
+void Dispatcher::EnableIdleCruising(const MapPartitioning* partitioning,
+                                    RoutePlanner* planner) {
+  MTSHARE_CHECK(partitioning != nullptr && planner != nullptr);
+  cruise_partitioning_ = partitioning;
+  cruise_planner_ = planner;
+}
+
+void Dispatcher::EnableIdleCruising(const MapPartitioning* partitioning,
+                                    std::unique_ptr<RoutePlanner> planner) {
+  owned_cruise_planner_ = std::move(planner);
+  EnableIdleCruising(partitioning, owned_cruise_planner_.get());
+}
+
+RoutePlanner::PlannedRoute Dispatcher::PlanIdleCruise(TaxiId id, Seconds now) {
+  if (cruise_planner_ == nullptr) return {};
+  if (next_cruise_time_.size() != fleet_->size()) {
+    next_cruise_time_.assign(fleet_->size(), 0.0);
+  }
+  if (now < next_cruise_time_[id]) return {};
+  next_cruise_time_[id] = now + 60.0;  // retry at most once a minute
+
+  const TaxiState& t = taxi(id);
+  const MapPartitioning& parts = *cruise_partitioning_;
+  PartitionId here = parts.PartitionOf(t.location);
+  // Candidate cruise targets: nearby partitions weighted by direction-free
+  // encounter mass. Sampling (not arg-max) keeps the idle fleet spread out
+  // instead of herding every empty taxi into the single hottest zone.
+  const Point& pos = network_.coord(t.location);
+  std::vector<PartitionId> nearby;
+  std::vector<double> weights;
+  for (PartitionId p = 0; p < parts.num_partitions(); ++p) {
+    if (p == here) continue;
+    if (Distance(pos, parts.centroids[p]) > config_.gamma_max_m) continue;
+    double mass = cruise_planner_->PartitionEncounterMass(p, Point{0, 0});
+    if (mass <= 0.0) continue;
+    nearby.push_back(p);
+    weights.push_back(mass);
+  }
+  if (nearby.empty()) return {};
+  PartitionId target_partition = nearby[cruise_rng_.NextDiscrete(weights)];
+
+  VertexId target = parts.landmarks[target_partition];
+  if (target == t.location) return {};
+  Seconds shortest = oracle_->Cost(t.location, target);
+  if (shortest == kInfiniteCost) return {};
+  Path leg = cruise_planner_->PlanProbabilisticLeg(
+      t.location, target, Point{0, 0}, shortest * 1.5 + 60.0);
+  if (!leg.valid) leg = cruise_planner_->PlanBasicLeg(t.location, target);
+  if (!leg.valid) return {};
+  RoutePlanner::PlannedRoute route;
+  route.valid = true;
+  route.path = std::move(leg);
+  return route;
+}
+
+DispatchOutcome Dispatcher::TryServeEncountered(const RideRequest& request,
+                                                TaxiId taxi_id, Seconds now) {
+  DispatchOutcome outcome;
+  const TaxiState& t = taxi(taxi_id);
+  if (t.FreeSeats() < request.passengers) return outcome;
+  // The taxi is physically at the request's origin: insert and re-plan.
+  InsertionResult ins =
+      FindBestInsertionDp(t.schedule, request, t.location, now, t.onboard,
+                        t.capacity, OracleCost());
+  if (!ins.found) return outcome;
+  RoutePlanner::PlannedRoute route =
+      PlanShortestRoute(t.location, now, ins.schedule);
+  if (!route.valid) return outcome;
+  outcome.assigned = true;
+  outcome.taxi = taxi_id;
+  outcome.detour = ins.detour;
+  outcome.candidates = 1;
+  outcome.schedule = std::move(ins.schedule);
+  outcome.route = std::move(route);
+  return outcome;
+}
+
+}  // namespace mtshare

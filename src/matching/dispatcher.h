@@ -1,0 +1,155 @@
+#ifndef MTSHARE_MATCHING_DISPATCHER_H_
+#define MTSHARE_MATCHING_DISPATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "demand/request.h"
+#include "matching/taxi_state.h"
+#include "partition/map_partitioning.h"
+#include "routing/distance_oracle.h"
+#include "sched/route_planner.h"
+
+namespace mtshare {
+
+/// Parameters shared by all matching schemes (paper Table II).
+struct MatchingConfig {
+  /// Cap on the candidate searching range gamma (Table II default 2.5 km,
+  /// swept in Fig. 15). mT-Share additionally adapts gamma to the request's
+  /// waiting budget via eq. (2).
+  double gamma_max_m = 2500.0;
+  /// Constant cruise speed (15 km/h, Sec. V-A4); converts wait budget to
+  /// search radius.
+  double speed_mps = 15.0 * 1000.0 / 3600.0;
+  /// Direction-similarity threshold lambda (0.707 == 45 degrees).
+  double lambda = 0.707;
+  /// Partition-filter cost slack epsilon.
+  double epsilon = 1.0;
+  /// Horizon of the partition taxi lists T_mp (1 hour).
+  Seconds tmp = 3600.0;
+  /// Enables probabilistic routing (the mT-Share^pro variant).
+  bool probabilistic = false;
+  /// A taxi drives probabilistic legs only while at least this fraction of
+  /// its capacity is idle (Sec. V-A1: "half of the capacity in idle").
+  double prob_free_seat_fraction = 0.5;
+  /// Probabilistic-leg travel budget: min(deadline slack,
+  /// shortest * prob_max_stretch + prob_extra_slack) — the probability vs
+  /// detour trade-off knob (ablated in bench_ablation_design).
+  double prob_max_stretch = 1.5;
+  Seconds prob_extra_slack = 90.0;
+  /// When true (default), candidate search accepts busy taxis from every
+  /// mobility cluster whose general vector passes lambda against the
+  /// request; when false, only the single best-matching cluster C_a is
+  /// used (the paper's literal eq. (3); ablated in the lambda bench).
+  bool match_all_compatible_clusters = true;
+  /// Grid pitch of the baselines' spatial taxi index.
+  double grid_cell_m = 500.0;
+};
+
+/// What a matching scheme returns for one ride request.
+struct DispatchOutcome {
+  bool assigned = false;
+  TaxiId taxi = kInvalidTaxi;
+  /// Detour cost omega of the winning schedule instance (paper eq. (4)).
+  Seconds detour = 0.0;
+  /// Candidate taxis whose schedules were examined (paper Table III).
+  int32_t candidates = 0;
+  /// New schedule + route for the winning taxi; the engine applies them.
+  Schedule schedule;
+  RoutePlanner::PlannedRoute route;
+  /// Whether the route was planned probabilistically.
+  bool probabilistic_route = false;
+};
+
+/// Interface of a passenger-taxi matching scheme. One instance owns the
+/// indexes for one simulation run; the engine feeds it taxi lifecycle
+/// notifications so indexes stay fresh.
+class Dispatcher {
+ public:
+  /// The dispatcher reads and never mutates the fleet; the engine applies
+  /// outcomes.
+  Dispatcher(const RoadNetwork& network, DistanceOracle* oracle,
+             std::vector<TaxiState>* fleet, const MatchingConfig& config);
+  virtual ~Dispatcher() = default;
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Matches one online ride request; pure decision, no state mutation
+  /// beyond the scheme's own index bookkeeping.
+  virtual DispatchOutcome Dispatch(const RideRequest& request,
+                                   Seconds now) = 0;
+
+  /// A taxi advanced one vertex along its route.
+  virtual void OnTaxiMoved(TaxiId taxi) { (void)taxi; }
+  /// A taxi's schedule/route was replaced (assignment) or drained (idle).
+  virtual void OnScheduleCommitted(TaxiId taxi) { (void)taxi; }
+  /// A request left the system (delivered).
+  virtual void OnRequestCompleted(const RideRequest& request, TaxiId taxi) {
+    (void)request;
+    (void)taxi;
+  }
+
+  /// Offline-request encounter (paper Sec. IV-C2): `taxi` met the waiting
+  /// request at its origin vertex; serve it if a feasible insertion exists.
+  /// Default: best insertion via oracle costs + shortest-path route.
+  virtual DispatchOutcome TryServeEncountered(const RideRequest& request,
+                                              TaxiId taxi, Seconds now);
+
+  /// Whether this scheme participates in offline serving (No-Sharing does
+  /// not; the adjusted baselines and mT-Share do, Sec. V-A2).
+  virtual bool ServesOfflineRequests() const { return true; }
+
+  /// Asked by the engine when a taxi is idle with no route: an
+  /// offline-seeking cruise route (mT-Share-pro sends empty taxis toward
+  /// high encounter-mass partitions; every other scheme parks them).
+  /// Returns an invalid route unless idle cruising was enabled.
+  virtual RoutePlanner::PlannedRoute PlanIdleCruise(TaxiId taxi, Seconds now);
+
+  /// Arms probabilistic idle cruising: empty taxis are steered toward
+  /// nearby partitions sampled by offline-encounter mass. mT-Share-pro arms
+  /// this with its own planner; the Fig. 16 bench arms it on the baselines
+  /// to form their "+ probabilistic routing" variants. `planner` is owned
+  /// by the dispatcher when passed by unique_ptr.
+  void EnableIdleCruising(const MapPartitioning* partitioning,
+                          RoutePlanner* planner);
+  void EnableIdleCruising(const MapPartitioning* partitioning,
+                          std::unique_ptr<RoutePlanner> planner);
+
+  /// Resident bytes of the scheme's index structures (paper Table IV).
+  virtual size_t IndexMemoryBytes() const { return 0; }
+
+ protected:
+  /// Oracle-backed leg cost function (the O(1) shortest-path assumption).
+  LegCostFn OracleCost();
+
+  /// Materializes an unrestricted shortest-path route for a schedule.
+  RoutePlanner::PlannedRoute PlanShortestRoute(VertexId start,
+                                               Seconds start_time,
+                                               const Schedule& schedule);
+
+  const TaxiState& taxi(TaxiId id) const { return (*fleet_)[id]; }
+
+  const RoadNetwork& network_;
+  DistanceOracle* oracle_;
+  std::vector<TaxiState>* fleet_;
+  MatchingConfig config_;
+  DijkstraSearch route_dijkstra_;
+
+ private:
+  // Idle-cruising state (see EnableIdleCruising).
+  const MapPartitioning* cruise_partitioning_ = nullptr;
+  RoutePlanner* cruise_planner_ = nullptr;
+  std::unique_ptr<RoutePlanner> owned_cruise_planner_;
+  std::vector<Seconds> next_cruise_time_;
+  Rng cruise_rng_{0xC0FFEE};
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_MATCHING_DISPATCHER_H_

@@ -1,0 +1,67 @@
+#ifndef MTSHARE_MATCHING_MT_SHARE_H_
+#define MTSHARE_MATCHING_MT_SHARE_H_
+
+#include <memory>
+
+#include "matching/dispatcher.h"
+#include "matching/taxi_index.h"
+#include "mobility/transition_model.h"
+#include "partition/landmark_graph.h"
+#include "partition/map_partitioning.h"
+
+namespace mtshare {
+
+/// The paper's scheme (Sec. IV): mobility-aware candidate search over map
+/// partitions x mobility clusters, exhaustive minimum-detour insertion
+/// (Algorithm 1), and two-phase route planning with partition filtering —
+/// basic shortest-path legs by default, probabilistic offline-seeking legs
+/// when config.probabilistic is set and the taxi has enough idle seats
+/// (the mT-Share^pro variant).
+class MtShareDispatcher : public Dispatcher {
+ public:
+  /// `partitioning`/`landmarks`/`transitions` must outlive the dispatcher.
+  /// `transitions` may be null when probabilistic routing is disabled; its
+  /// group space must equal the partitioning otherwise.
+  MtShareDispatcher(const RoadNetwork& network, DistanceOracle* oracle,
+                    std::vector<TaxiState>* fleet,
+                    const MatchingConfig& config,
+                    const MapPartitioning& partitioning,
+                    const LandmarkGraph& landmarks,
+                    const TransitionModel* transitions);
+
+  std::string_view name() const override {
+    return config_.probabilistic ? "mT-Share-pro" : "mT-Share";
+  }
+
+  DispatchOutcome Dispatch(const RideRequest& request, Seconds now) override;
+
+  void OnTaxiMoved(TaxiId taxi) override;
+  void OnScheduleCommitted(TaxiId taxi) override;
+  void OnRequestCompleted(const RideRequest& request, TaxiId taxi) override;
+
+
+  size_t IndexMemoryBytes() const override;
+
+  /// Route planner (exposed for the routing-mode benches and tests).
+  RoutePlanner& planner() { return planner_; }
+  const MtShareTaxiIndex& index() const { return index_; }
+
+ private:
+  /// Candidate taxi set T_ri of paper eq. (3) plus the refinement rules.
+  std::vector<TaxiId> CandidateTaxis(const RideRequest& request, Seconds now,
+                                     double gamma);
+
+  /// Whether this taxi may drive probabilistic legs right now.
+  bool ProbQualifies(const TaxiState& t) const;
+
+  const MapPartitioning& partitioning_;
+  RoutePlanner planner_;
+  MtShareTaxiIndex index_;
+  /// Epoch-stamped visited markers for candidate dedup (O(1) reset).
+  std::vector<uint32_t> seen_stamp_;
+  uint32_t seen_epoch_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_MATCHING_MT_SHARE_H_

@@ -1,0 +1,67 @@
+#include "matching/no_sharing.h"
+
+namespace mtshare {
+
+NoSharingDispatcher::NoSharingDispatcher(const RoadNetwork& network,
+                                         DistanceOracle* oracle,
+                                         std::vector<TaxiState>* fleet,
+                                         const MatchingConfig& config)
+    : Dispatcher(network, oracle, fleet, config),
+      index_(network.bounds(), config.grid_cell_m) {
+  for (const TaxiState& t : *fleet_) {
+    if (t.Idle()) index_.Update(t.id, network_.coord(t.location));
+  }
+}
+
+void NoSharingDispatcher::OnTaxiMoved(TaxiId id) {
+  // Busy taxis stay out of the idle index; position refresh happens when
+  // the schedule drains (OnScheduleCommitted).
+  (void)id;
+}
+
+void NoSharingDispatcher::OnScheduleCommitted(TaxiId id) {
+  const TaxiState& t = taxi(id);
+  if (t.Idle()) {
+    index_.Update(id, network_.coord(t.location));
+  } else {
+    index_.Remove(id);
+  }
+}
+
+DispatchOutcome NoSharingDispatcher::Dispatch(const RideRequest& request,
+                                              Seconds now) {
+  DispatchOutcome outcome;
+  const Point& origin = network_.coord(request.origin);
+  std::vector<int32_t> nearby =
+      index_.ObjectsInRadius(origin, config_.gamma_max_m);
+  // Nearest idle taxi that can still reach the pickup in time.
+  std::sort(nearby.begin(), nearby.end(), [&](int32_t a, int32_t b) {
+    return DistanceSquared(network_.coord(taxi(a).location), origin) <
+           DistanceSquared(network_.coord(taxi(b).location), origin);
+  });
+  for (int32_t id : nearby) {
+    const TaxiState& t = taxi(id);
+    if (!t.Idle() || t.capacity < request.passengers) continue;
+    ++outcome.candidates;
+    Seconds approach = oracle_->Cost(t.location, request.origin);
+    if (now + approach > request.PickupDeadline()) continue;
+    Schedule schedule;
+    schedule.Append(ScheduleEvent{request.id, request.origin, true,
+                                  request.PickupDeadline(),
+                                  request.passengers});
+    schedule.Append(ScheduleEvent{request.id, request.destination, false,
+                                  request.deadline, request.passengers});
+    RoutePlanner::PlannedRoute route =
+        PlanShortestRoute(t.location, now, schedule);
+    if (!route.valid) continue;
+    outcome.assigned = true;
+    outcome.taxi = id;
+    outcome.detour = 0.0;  // exclusive ride: no shared detour
+    outcome.schedule = std::move(schedule);
+    outcome.route = std::move(route);
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace mtshare

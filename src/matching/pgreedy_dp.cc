@@ -1,0 +1,64 @@
+#include "matching/pgreedy_dp.h"
+
+namespace mtshare {
+
+PGreedyDpDispatcher::PGreedyDpDispatcher(const RoadNetwork& network,
+                                         DistanceOracle* oracle,
+                                         std::vector<TaxiState>* fleet,
+                                         const MatchingConfig& config)
+    : Dispatcher(network, oracle, fleet, config),
+      index_(network.bounds(), config.grid_cell_m) {
+  for (const TaxiState& t : *fleet_) {
+    index_.Update(t.id, network_.coord(t.location));
+  }
+}
+
+void PGreedyDpDispatcher::OnTaxiMoved(TaxiId id) {
+  index_.Update(id, network_.coord(taxi(id).location));
+}
+
+void PGreedyDpDispatcher::OnScheduleCommitted(TaxiId id) {
+  index_.Update(id, network_.coord(taxi(id).location));
+}
+
+DispatchOutcome PGreedyDpDispatcher::Dispatch(const RideRequest& request,
+                                              Seconds now) {
+  DispatchOutcome outcome;
+  const Point& origin = network_.coord(request.origin);
+  std::vector<int32_t> nearby =
+      index_.ObjectsInRadius(origin, config_.gamma_max_m);
+
+  Seconds best_detour = kInfiniteCost;
+  InsertionResult best_ins;
+  TaxiId best_taxi = kInvalidTaxi;
+  for (int32_t id : nearby) {
+    const TaxiState& t = taxi(id);
+    if (t.FreeSeats() < request.passengers) continue;
+    ++outcome.candidates;
+    // No direction/temporal prefilter: the scheme examines every in-range
+    // taxi's schedule (the paper's Table III shows it with the largest
+    // candidate sets and Fig. 7 with the slowest response); the DP itself
+    // rejects unreachable pickups.
+    InsertionResult ins = FindBestInsertionDp(t.schedule, request, t.location,
+                                              now, t.onboard, t.capacity,
+                                              OracleCost());
+    if (ins.found && ins.detour < best_detour) {
+      best_detour = ins.detour;
+      best_ins = std::move(ins);
+      best_taxi = id;
+    }
+  }
+  if (best_taxi == kInvalidTaxi) return outcome;
+
+  RoutePlanner::PlannedRoute route = PlanShortestRoute(
+      taxi(best_taxi).location, now, best_ins.schedule);
+  if (!route.valid) return outcome;
+  outcome.assigned = true;
+  outcome.taxi = best_taxi;
+  outcome.detour = best_detour;
+  outcome.schedule = std::move(best_ins.schedule);
+  outcome.route = std::move(route);
+  return outcome;
+}
+
+}  // namespace mtshare

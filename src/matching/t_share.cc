@@ -1,0 +1,76 @@
+#include "matching/t_share.h"
+
+#include <algorithm>
+
+namespace mtshare {
+
+TShareDispatcher::TShareDispatcher(const RoadNetwork& network,
+                                   DistanceOracle* oracle,
+                                   std::vector<TaxiState>* fleet,
+                                   const MatchingConfig& config)
+    : Dispatcher(network, oracle, fleet, config),
+      index_(network.bounds(), config.grid_cell_m) {
+  for (const TaxiState& t : *fleet_) {
+    index_.Update(t.id, network_.coord(t.location));
+  }
+}
+
+void TShareDispatcher::OnTaxiMoved(TaxiId id) {
+  index_.Update(id, network_.coord(taxi(id).location));
+}
+
+void TShareDispatcher::OnScheduleCommitted(TaxiId id) {
+  index_.Update(id, network_.coord(taxi(id).location));
+}
+
+DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
+                                           Seconds now) {
+  DispatchOutcome outcome;
+  const Point& origin = network_.coord(request.origin);
+  const Point& dest = network_.coord(request.destination);
+  const double gamma = config_.gamma_max_m;
+
+  // Origin side: taxis currently within gamma of the pickup.
+  std::vector<int32_t> origin_side = index_.ObjectsInRadius(origin, gamma);
+  // Destination side: taxis farther from the dropoff than the trip length
+  // (or gamma, whichever is larger) are discarded — the dual-side
+  // intersection that "mistakenly removes many possible taxis" (paper
+  // Sec. III-B / Tong et al. [42]): a taxi on the far side of the
+  // destination is dropped even when its schedule would serve the trip.
+  const double dest_bound = std::max(Distance(origin, dest), gamma);
+  std::vector<int32_t> candidates;
+  for (int32_t id : origin_side) {
+    const TaxiState& t = taxi(id);
+    if (Distance(network_.coord(t.location), dest) > dest_bound) continue;
+    if (t.FreeSeats() < request.passengers) continue;
+    candidates.push_back(id);
+  }
+  // Nearest-to-origin first; T-Share returns the FIRST valid taxi.
+  std::sort(candidates.begin(), candidates.end(), [&](int32_t a, int32_t b) {
+    return DistanceSquared(network_.coord(taxi(a).location), origin) <
+           DistanceSquared(network_.coord(taxi(b).location), origin);
+  });
+
+  for (int32_t id : candidates) {
+    const TaxiState& t = taxi(id);
+    ++outcome.candidates;
+    Seconds approach = oracle_->Cost(t.location, request.origin);
+    if (now + approach > request.PickupDeadline()) continue;
+    InsertionResult ins = FindBestInsertionDp(t.schedule, request, t.location,
+                                            now, t.onboard, t.capacity,
+                                            OracleCost());
+    if (!ins.found) continue;
+    RoutePlanner::PlannedRoute route =
+        PlanShortestRoute(t.location, now, ins.schedule);
+    if (!route.valid) continue;
+    outcome.assigned = true;
+    outcome.taxi = id;
+    outcome.detour = ins.detour;
+    outcome.schedule = std::move(ins.schedule);
+    outcome.route = std::move(route);
+    return outcome;  // first valid, not best — the scheme's signature
+  }
+  return outcome;
+}
+
+}  // namespace mtshare

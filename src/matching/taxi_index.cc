@@ -1,0 +1,128 @@
+#include "matching/taxi_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+MtShareTaxiIndex::MtShareTaxiIndex(const RoadNetwork& network,
+                                   const MapPartitioning& partitioning,
+                                   double lambda, Seconds tmp)
+    : network_(network),
+      partitioning_(partitioning),
+      tmp_(tmp),
+      partition_taxis_(partitioning.num_partitions()),
+      clustering_(lambda) {}
+
+void MtShareTaxiIndex::RemoveTaxiPartitions(TaxiId id) {
+  auto it = taxi_partitions_.find(id);
+  if (it == taxi_partitions_.end()) return;
+  for (PartitionId p : it->second) {
+    auto& list = partition_taxis_[p];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].taxi == id) {
+        list.erase(list.begin() + i);
+        break;
+      }
+    }
+  }
+  taxi_partitions_.erase(it);
+}
+
+bool MtShareTaxiIndex::PartitionContains(PartitionId p, TaxiId id) const {
+  for (const Arrival& a : partition_taxis_[p]) {
+    if (a.taxi == id) return true;
+  }
+  return false;
+}
+
+void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
+  RemoveTaxiPartitions(taxi.id);
+  std::vector<PartitionId> memberships;
+  auto add = [&](PartitionId p, Seconds arrival) {
+    // Memberships are visited in increasing arrival order, so the first
+    // insertion carries the earliest arrival; keep the list sorted.
+    for (const Arrival& existing : partition_taxis_[p]) {
+      if (existing.taxi == taxi.id) return;
+    }
+    auto& list = partition_taxis_[p];
+    Arrival entry{arrival, taxi.id};
+    auto pos = std::upper_bound(list.begin(), list.end(), arrival,
+                                [](Seconds t, const Arrival& a) {
+                                  return t < a.time;
+                                });
+    list.insert(pos, entry);
+    memberships.push_back(p);
+  };
+  // Current partition, at the current time.
+  add(partitioning_.PartitionOf(taxi.location), now);
+  // Partitions along the committed route, first-arrival within T_mp.
+  for (size_t i = taxi.route_pos; i < taxi.route.size(); ++i) {
+    Seconds arrival = taxi.route_times[i];
+    if (arrival > now + tmp_) break;
+    add(partitioning_.PartitionOf(taxi.route[i]), arrival);
+  }
+  taxi_partitions_.emplace(taxi.id, std::move(memberships));
+
+  // Mobility cluster: busy taxis only (Sec. IV-B2 excludes empty taxis).
+  MobilityVector mv = TaxiMobilityVector(taxi, network_);
+  if (mv.Length() > 0.0) {
+    clustering_.Assign(TaxiKey(taxi.id), mv);
+  } else {
+    clustering_.Remove(TaxiKey(taxi.id));
+  }
+}
+
+void MtShareTaxiIndex::OnTaxiMoved(const TaxiState& taxi, Seconds now) {
+  if (!taxi.Idle()) return;  // busy taxis: memberships are route-derived
+  ReindexTaxi(taxi, now);
+}
+
+void MtShareTaxiIndex::AddRequest(const RideRequest& request) {
+  clustering_.Assign(RequestKey(request.id),
+                     MobilityVector{network_.coord(request.origin),
+                                    network_.coord(request.destination)});
+}
+
+void MtShareTaxiIndex::RemoveRequest(RequestId id) {
+  clustering_.Remove(RequestKey(id));
+}
+
+ClusterId MtShareTaxiIndex::FindCluster(const MobilityVector& probe) const {
+  return clustering_.FindBestCluster(probe);
+}
+
+std::vector<TaxiId> MtShareTaxiIndex::ClusterTaxis(ClusterId cluster) const {
+  std::vector<TaxiId> taxis;
+  if (cluster == kInvalidCluster) return taxis;
+  for (int64_t key : clustering_.Members(cluster)) {
+    if (key >= 0) taxis.push_back(static_cast<TaxiId>(key));
+  }
+  return taxis;
+}
+
+std::vector<TaxiId> MtShareTaxiIndex::CompatibleClusterTaxis(
+    const MobilityVector& probe) const {
+  std::vector<TaxiId> taxis;
+  for (ClusterId c : clustering_.FindCompatibleClusters(probe)) {
+    for (int64_t key : clustering_.Members(c)) {
+      if (key >= 0) taxis.push_back(static_cast<TaxiId>(key));
+    }
+  }
+  return taxis;
+}
+
+size_t MtShareTaxiIndex::MemoryBytes() const {
+  size_t bytes = clustering_.MemoryBytes();
+  for (const auto& m : partition_taxis_) {
+    bytes += m.size() * sizeof(Arrival);
+  }
+  for (const auto& [id, partitions] : taxi_partitions_) {
+    (void)id;
+    bytes += partitions.size() * sizeof(PartitionId) + 24;
+  }
+  return bytes;
+}
+
+}  // namespace mtshare

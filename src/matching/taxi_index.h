@@ -1,0 +1,94 @@
+#ifndef MTSHARE_MATCHING_TAXI_INDEX_H_
+#define MTSHARE_MATCHING_TAXI_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/taxi_state.h"
+#include "mobility/mobility_clustering.h"
+#include "partition/map_partitioning.h"
+
+namespace mtshare {
+
+/// mT-Share's dual taxi index (paper Sec. IV-B3):
+///  - *map-partition lists* P_z.L_t: for each partition, the taxis that are
+///    in it now or will arrive within the horizon T_mp, with arrival times
+///    (derived from committed routes);
+///  - *mobility-cluster lists* C_a.L_t: busy taxis grouped by travel
+///    direction via MobilityClustering. Ride requests are clustered in the
+///    same structure (distinct key space) so cluster general vectors track
+///    both populations.
+class MtShareTaxiIndex {
+ public:
+  MtShareTaxiIndex(const RoadNetwork& network,
+                   const MapPartitioning& partitioning, double lambda,
+                   Seconds tmp);
+
+  /// (Re)indexes a taxi from its current state: partition memberships from
+  /// its route (or its location when idle) and cluster membership from its
+  /// mobility vector. Call on fleet setup and whenever a schedule/route is
+  /// committed or drained.
+  void ReindexTaxi(const TaxiState& taxi, Seconds now);
+
+  /// Cheap refresh when an *idle* taxi's location changed (busy taxis'
+  /// memberships are route-derived and stay valid between commits).
+  void OnTaxiMoved(const TaxiState& taxi, Seconds now);
+
+  /// Registers a ride request in the mobility clustering (affects general
+  /// vectors); call when the request enters the system.
+  void AddRequest(const RideRequest& request);
+  /// Removes a request (completed or rejected).
+  void RemoveRequest(RequestId id);
+
+  /// One entry of a partition taxi list.
+  struct Arrival {
+    Seconds time = 0.0;
+    TaxiId taxi = kInvalidTaxi;
+  };
+
+  /// Taxis indexed in partition p with their first arrival time there,
+  /// sorted ascending by arrival (paper Sec. IV-B3) so scans can stop at
+  /// the first entry beyond a deadline.
+  const std::vector<Arrival>& PartitionTaxis(PartitionId p) const {
+    return partition_taxis_[p];
+  }
+
+  /// Whether taxi `id` is listed in partition p (test helper).
+  bool PartitionContains(PartitionId p, TaxiId id) const;
+
+  /// Best direction-compatible cluster for a probe vector,
+  /// kInvalidCluster if none.
+  ClusterId FindCluster(const MobilityVector& probe) const;
+
+  /// Busy taxis in the given mobility cluster.
+  std::vector<TaxiId> ClusterTaxis(ClusterId cluster) const;
+
+  /// Busy taxis across every cluster whose general vector passes lambda
+  /// against the probe (union of direction-compatible clusters).
+  std::vector<TaxiId> CompatibleClusterTaxis(const MobilityVector& probe) const;
+
+  const MobilityClustering& clustering() const { return clustering_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  static int64_t TaxiKey(TaxiId id) { return id; }
+  static int64_t RequestKey(RequestId id) { return -(id + 2); }
+
+  void RemoveTaxiPartitions(TaxiId id);
+
+  const RoadNetwork& network_;
+  const MapPartitioning& partitioning_;
+  Seconds tmp_;
+
+  std::vector<std::vector<Arrival>> partition_taxis_;
+  /// Partitions each taxi is currently listed in (for O(memberships)
+  /// removal).
+  std::unordered_map<TaxiId, std::vector<PartitionId>> taxi_partitions_;
+  MobilityClustering clustering_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_MATCHING_TAXI_INDEX_H_

@@ -1,0 +1,72 @@
+#ifndef MTSHARE_MATCHING_TAXI_STATE_H_
+#define MTSHARE_MATCHING_TAXI_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/mobility_vector.h"
+#include "graph/road_network.h"
+#include "sched/schedule.h"
+
+namespace mtshare {
+
+/// Runtime status of one shared taxi (paper Def. 3): current location, the
+/// pending schedule S_tj and its materialized route R_tj, plus bookkeeping
+/// the simulation and payment model need.
+struct TaxiState {
+  TaxiId id = kInvalidTaxi;
+  int32_t capacity = 3;
+  /// Riders currently inside the taxi.
+  int32_t onboard = 0;
+
+  /// Last reached vertex and when the taxi arrived there.
+  VertexId location = kInvalidVertex;
+  Seconds location_time = 0.0;
+
+  /// Pending pickup/dropoff events, in execution order.
+  Schedule schedule;
+  /// Planned arrival time per schedule event (parallel to schedule).
+  std::vector<Seconds> event_arrivals;
+
+  /// Remaining route: route[route_pos] == location; empty when idle.
+  std::vector<VertexId> route;
+  std::vector<Seconds> route_times;  ///< arrival time per route vertex
+  size_t route_pos = 0;
+
+  /// True when this taxi currently drives probabilistic-routing legs.
+  bool probabilistic_route = false;
+
+  /// Lifetime odometer (meters) and the occupied sub-distance.
+  double driven_meters = 0.0;
+  double occupied_meters = 0.0;
+  /// Accumulated driver income under the active payment model.
+  double income = 0.0;
+
+  /// Distance driven in the current ridesharing episode (resets when the
+  /// taxi empties; feeds the episode settlement of the payment model).
+  double episode_meters = 0.0;
+  /// Requests picked up during the current episode, settled together.
+  std::vector<RequestId> episode_requests;
+
+  int32_t FreeSeats() const { return capacity - onboard; }
+  bool Idle() const { return schedule.empty() && onboard == 0; }
+  bool HasRoute() const { return route_pos + 1 < route.size(); }
+};
+
+/// The taxi's mobility vector (paper Sec. IV-B2): origin = current location,
+/// destination = centroid of the dropoff vertices in its schedule. Returns
+/// a zero-displacement vector for taxis with no pending dropoffs (they have
+/// "no fixed travel destination" and are not mobility-clustered).
+MobilityVector TaxiMobilityVector(const TaxiState& taxi,
+                                  const RoadNetwork& network);
+
+/// Builds `count` idle taxis at uniformly random vertices (Sec. V-A4 sets
+/// initial taxi locations to random graph vertices).
+std::vector<TaxiState> MakeFleet(const RoadNetwork& network, int32_t count,
+                                 int32_t capacity, uint64_t seed,
+                                 Seconds start_time = 0.0);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_MATCHING_TAXI_STATE_H_

@@ -1,0 +1,118 @@
+#include "mobility/mobility_clustering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+MobilityClustering::MobilityClustering(double lambda) : lambda_(lambda) {
+  MTSHARE_CHECK(lambda >= -1.0 && lambda <= 1.0);
+}
+
+ClusterId MobilityClustering::AllocateCluster() {
+  if (!free_list_.empty()) {
+    ClusterId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  clusters_.emplace_back();
+  return static_cast<ClusterId>(clusters_.size() - 1);
+}
+
+ClusterId MobilityClustering::Assign(int64_t member,
+                                     const MobilityVector& vector) {
+  Remove(member);
+  ClusterId best = FindBestCluster(vector);
+  if (best == kInvalidCluster) {
+    best = AllocateCluster();
+    Cluster& c = clusters_[best];
+    c.origin_sum = Point{0, 0};
+    c.dest_sum = Point{0, 0};
+    c.members.clear();
+    c.live = true;
+    ++live_clusters_;
+  }
+  Cluster& c = clusters_[best];
+  c.origin_sum.x += vector.origin.x;
+  c.origin_sum.y += vector.origin.y;
+  c.dest_sum.x += vector.destination.x;
+  c.dest_sum.y += vector.destination.y;
+  c.members.push_back(member);
+  member_cluster_.emplace(member, std::make_pair(best, vector));
+  return best;
+}
+
+void MobilityClustering::Remove(int64_t member) {
+  auto it = member_cluster_.find(member);
+  if (it == member_cluster_.end()) return;
+  auto [cluster_id, vector] = it->second;
+  Cluster& c = clusters_[cluster_id];
+  c.origin_sum.x -= vector.origin.x;
+  c.origin_sum.y -= vector.origin.y;
+  c.dest_sum.x -= vector.destination.x;
+  c.dest_sum.y -= vector.destination.y;
+  c.members.erase(std::find(c.members.begin(), c.members.end(), member));
+  member_cluster_.erase(it);
+  if (c.members.empty()) {
+    c.live = false;
+    --live_clusters_;
+    free_list_.push_back(cluster_id);
+  }
+}
+
+ClusterId MobilityClustering::ClusterOf(int64_t member) const {
+  auto it = member_cluster_.find(member);
+  return it == member_cluster_.end() ? kInvalidCluster : it->second.first;
+}
+
+ClusterId MobilityClustering::FindBestCluster(
+    const MobilityVector& probe) const {
+  ClusterId best = kInvalidCluster;
+  double best_cos = lambda_;
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    if (!clusters_[i].live) continue;
+    double c = DirectionCosine(probe, clusters_[i].General());
+    if (c >= best_cos) {
+      best_cos = c;
+      best = static_cast<ClusterId>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<ClusterId> MobilityClustering::FindCompatibleClusters(
+    const MobilityVector& probe) const {
+  std::vector<ClusterId> out;
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    if (!clusters_[i].live) continue;
+    if (DirectionCosine(probe, clusters_[i].General()) >= lambda_) {
+      out.push_back(static_cast<ClusterId>(i));
+    }
+  }
+  return out;
+}
+
+MobilityVector MobilityClustering::GeneralVector(ClusterId cluster) const {
+  MTSHARE_CHECK(cluster >= 0 &&
+                cluster < static_cast<ClusterId>(clusters_.size()));
+  MTSHARE_CHECK(clusters_[cluster].live);
+  return clusters_[cluster].General();
+}
+
+const std::vector<int64_t>& MobilityClustering::Members(
+    ClusterId cluster) const {
+  MTSHARE_CHECK(cluster >= 0 &&
+                cluster < static_cast<ClusterId>(clusters_.size()));
+  return clusters_[cluster].members;
+}
+
+size_t MobilityClustering::MemoryBytes() const {
+  size_t bytes = clusters_.size() * sizeof(Cluster);
+  for (const Cluster& c : clusters_) bytes += c.members.size() * sizeof(int64_t);
+  bytes += member_cluster_.size() *
+           (sizeof(int64_t) + sizeof(std::pair<ClusterId, MobilityVector>) + 16);
+  return bytes;
+}
+
+}  // namespace mtshare

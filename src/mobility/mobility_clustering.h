@@ -1,0 +1,86 @@
+#ifndef MTSHARE_MOBILITY_MOBILITY_CLUSTERING_H_
+#define MTSHARE_MOBILITY_MOBILITY_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/mobility_vector.h"
+
+namespace mtshare {
+
+/// Incremental direction clustering of ride requests and busy taxis (paper
+/// Sec. IV-B2). Members are opaque 64-bit keys (the matching layer encodes
+/// taxi vs request ids). Each cluster keeps a *general mobility vector*
+/// whose origin/destination are the means of the member origins/
+/// destinations; a new member joins the best cluster whose general vector's
+/// travel direction is within cos(theta) >= lambda, else founds a cluster.
+///
+/// Clusters that drain to zero members are recycled via a free list, so
+/// long simulations do not leak cluster slots.
+class MobilityClustering {
+ public:
+  /// lambda: cosine threshold (paper default 0.707 == 45 degrees).
+  explicit MobilityClustering(double lambda);
+
+  /// Adds (or re-adds) a member; returns its cluster. If the member already
+  /// exists it is reassigned (remove + add).
+  ClusterId Assign(int64_t member, const MobilityVector& vector);
+
+  /// Removes a member (no-op if absent).
+  void Remove(int64_t member);
+
+  /// Cluster currently holding the member, kInvalidCluster if absent.
+  ClusterId ClusterOf(int64_t member) const;
+
+  /// Best direction-compatible cluster for a probe vector without inserting
+  /// (candidate search uses this to locate C_a for a new request);
+  /// kInvalidCluster if none passes lambda.
+  ClusterId FindBestCluster(const MobilityVector& probe) const;
+
+  /// All clusters whose general vector passes lambda against the probe.
+  std::vector<ClusterId> FindCompatibleClusters(
+      const MobilityVector& probe) const;
+
+  /// General mobility vector of a live cluster.
+  MobilityVector GeneralVector(ClusterId cluster) const;
+
+  const std::vector<int64_t>& Members(ClusterId cluster) const;
+
+  int32_t num_live_clusters() const { return live_clusters_; }
+  int32_t num_members() const {
+    return static_cast<int32_t>(member_cluster_.size());
+  }
+  double lambda() const { return lambda_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Cluster {
+    Point origin_sum{0, 0};
+    Point dest_sum{0, 0};
+    std::vector<int64_t> members;
+    bool live = false;
+
+    MobilityVector General() const {
+      double n = static_cast<double>(members.size());
+      return MobilityVector{Point{origin_sum.x / n, origin_sum.y / n},
+                            Point{dest_sum.x / n, dest_sum.y / n}};
+    }
+  };
+
+  ClusterId AllocateCluster();
+
+  double lambda_;
+  std::vector<Cluster> clusters_;
+  std::vector<ClusterId> free_list_;
+  int32_t live_clusters_ = 0;
+  std::unordered_map<int64_t, std::pair<ClusterId, MobilityVector>>
+      member_cluster_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_MOBILITY_MOBILITY_CLUSTERING_H_

@@ -1,0 +1,59 @@
+#include "partition/landmark_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+LandmarkGraph::LandmarkGraph(const RoadNetwork& network,
+                             const MapPartitioning& partitioning)
+    : num_partitions_(partitioning.num_partitions()) {
+  MTSHARE_CHECK(num_partitions_ > 0);
+  adjacency_.resize(num_partitions_);
+
+  // Adjacency: a road edge whose endpoints lie in different partitions
+  // makes those partitions adjacent.
+  std::vector<std::vector<uint8_t>> adj_matrix(
+      num_partitions_, std::vector<uint8_t>(num_partitions_, 0));
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    PartitionId pv = partitioning.PartitionOf(v);
+    for (const Arc& arc : network.OutArcs(v)) {
+      PartitionId pw = partitioning.PartitionOf(arc.head);
+      if (pv != pw) {
+        adj_matrix[pv][pw] = 1;
+        adj_matrix[pw][pv] = 1;
+      }
+    }
+  }
+  for (PartitionId p = 0; p < num_partitions_; ++p) {
+    for (PartitionId q = 0; q < num_partitions_; ++q) {
+      if (adj_matrix[p][q]) adjacency_[p].push_back(q);
+    }
+  }
+
+  // Landmark-to-landmark costs: one Dijkstra row per landmark.
+  costs_.assign(static_cast<size_t>(num_partitions_) * num_partitions_,
+                kInfiniteCost);
+  DijkstraSearch search(network);
+  for (PartitionId p = 0; p < num_partitions_; ++p) {
+    std::vector<Seconds> row = search.CostsFrom(partitioning.landmarks[p]);
+    for (PartitionId q = 0; q < num_partitions_; ++q) {
+      costs_[static_cast<size_t>(p) * num_partitions_ + q] =
+          row[partitioning.landmarks[q]];
+    }
+  }
+}
+
+bool LandmarkGraph::Adjacent(PartitionId a, PartitionId b) const {
+  const auto& nbrs = adjacency_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+size_t LandmarkGraph::MemoryBytes() const {
+  size_t bytes = costs_.size() * sizeof(Seconds);
+  for (const auto& nbrs : adjacency_) bytes += nbrs.size() * sizeof(PartitionId);
+  return bytes;
+}
+
+}  // namespace mtshare

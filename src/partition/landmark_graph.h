@@ -1,0 +1,52 @@
+#ifndef MTSHARE_PARTITION_LANDMARK_GRAPH_H_
+#define MTSHARE_PARTITION_LANDMARK_GRAPH_H_
+
+#include <vector>
+
+#include "partition/map_partitioning.h"
+#include "routing/dijkstra.h"
+
+namespace mtshare {
+
+/// Landmark graph G_l (paper Def. 8): one vertex per partition landmark,
+/// an edge between landmarks of adjacent partitions (partitions are
+/// adjacent when some road edge crosses between them). Carries the dense
+/// landmark-to-landmark travel-cost table used by partition filtering
+/// (Algorithm 2) and by probabilistic routing's partition-path planning
+/// (Algorithm 4 step 2).
+class LandmarkGraph {
+ public:
+  /// Builds adjacency from crossing edges and the cost table with one
+  /// Dijkstra per landmark on the real network (kappa searches, done once;
+  /// the paper likewise precomputes landmark costs, Sec. V-A4).
+  LandmarkGraph(const RoadNetwork& network,
+                const MapPartitioning& partitioning);
+
+  int32_t num_partitions() const {
+    return static_cast<int32_t>(adjacency_.size());
+  }
+
+  /// Travel cost between the landmarks of two partitions on the road
+  /// network (not restricted to landmark-graph hops).
+  Seconds LandmarkCost(PartitionId a, PartitionId b) const {
+    return costs_[static_cast<size_t>(a) * num_partitions_ + b];
+  }
+
+  /// Partitions adjacent to p.
+  const std::vector<PartitionId>& Neighbors(PartitionId p) const {
+    return adjacency_[p];
+  }
+
+  bool Adjacent(PartitionId a, PartitionId b) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  int32_t num_partitions_;
+  std::vector<std::vector<PartitionId>> adjacency_;
+  std::vector<Seconds> costs_;  // dense num_partitions^2
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_PARTITION_LANDMARK_GRAPH_H_

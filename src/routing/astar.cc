@@ -1,0 +1,82 @@
+#include "routing/astar.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+AStarSearch::AStarSearch(const RoadNetwork& network)
+    : network_(network),
+      dist_(network.num_vertices(), 0.0),
+      parent_(network.num_vertices(), kInvalidVertex),
+      epoch_(network.num_vertices(), 0) {}
+
+bool AStarSearch::Run(VertexId source, VertexId target) {
+  MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
+  MTSHARE_CHECK(target >= 0 && target < network_.num_vertices());
+  ++current_epoch_;
+  if (current_epoch_ == 0) {
+    std::fill(epoch_.begin(), epoch_.end(), 0);
+    current_epoch_ = 1;
+  }
+  last_settled_ = 0;
+
+  struct Entry {
+    double f;
+    Seconds g;
+    VertexId vertex;
+    bool operator>(const Entry& other) const { return f > other.f; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidVertex;
+  epoch_[source] = current_epoch_;
+  queue.push(Entry{network_.EuclideanLowerBound(source, target), 0.0, source});
+
+  while (!queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (epoch_[top.vertex] != current_epoch_ || top.g > dist_[top.vertex]) {
+      continue;
+    }
+    ++last_settled_;
+    if (top.vertex == target) return true;
+    for (const Arc& arc : network_.OutArcs(top.vertex)) {
+      VertexId next = arc.head;
+      Seconds g = top.g + arc.cost;
+      if (epoch_[next] != current_epoch_ || g < dist_[next]) {
+        epoch_[next] = current_epoch_;
+        dist_[next] = g;
+        parent_[next] = top.vertex;
+        queue.push(Entry{g + network_.EuclideanLowerBound(next, target), g,
+                         next});
+      }
+    }
+  }
+  return false;
+}
+
+Seconds AStarSearch::Cost(VertexId source, VertexId target) {
+  if (source == target) return 0.0;
+  if (!Run(source, target)) return kInfiniteCost;
+  return dist_[target];
+}
+
+Path AStarSearch::FindPath(VertexId source, VertexId target) {
+  if (source == target) return Path::Trivial(source);
+  if (!Run(source, target)) return Path::Invalid();
+  Path path;
+  path.cost = dist_[target];
+  path.valid = true;
+  for (VertexId v = target; v != kInvalidVertex; v = parent_[v]) {
+    path.vertices.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  return path;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,41 @@
+#ifndef MTSHARE_ROUTING_ASTAR_H_
+#define MTSHARE_ROUTING_ASTAR_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/path.h"
+
+namespace mtshare {
+
+/// Point-to-point A* with the Euclidean travel-time lower bound as the
+/// heuristic (admissible by RoadNetwork::EuclideanLowerBound). Roughly
+/// 2-6x fewer settled vertices than plain Dijkstra on city grids; used by
+/// latency-sensitive callers that need full paths on the unrestricted graph.
+///
+/// Not thread-safe; create one per thread.
+class AStarSearch {
+ public:
+  explicit AStarSearch(const RoadNetwork& network);
+
+  /// Travel seconds of the shortest path, kInfiniteCost if unreachable.
+  Seconds Cost(VertexId source, VertexId target);
+
+  Path FindPath(VertexId source, VertexId target);
+
+  int64_t last_settled_count() const { return last_settled_; }
+
+ private:
+  bool Run(VertexId source, VertexId target);
+
+  const RoadNetwork& network_;
+  std::vector<Seconds> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<uint32_t> epoch_;
+  uint32_t current_epoch_ = 0;
+  int64_t last_settled_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_ROUTING_ASTAR_H_

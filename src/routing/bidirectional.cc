@@ -1,0 +1,126 @@
+#include "routing/bidirectional.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+BidirectionalSearch::BidirectionalSearch(const RoadNetwork& network)
+    : network_(network) {
+  for (int d = 0; d < 2; ++d) {
+    dist_[d].assign(network.num_vertices(), 0.0);
+    parent_[d].assign(network.num_vertices(), kInvalidVertex);
+    epoch_[d].assign(network.num_vertices(), 0);
+  }
+}
+
+bool BidirectionalSearch::Run(VertexId source, VertexId target) {
+  MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
+  MTSHARE_CHECK(target >= 0 && target < network_.num_vertices());
+  ++current_epoch_;
+  if (current_epoch_ == 0) {
+    for (int d = 0; d < 2; ++d) {
+      std::fill(epoch_[d].begin(), epoch_[d].end(), 0);
+    }
+    current_epoch_ = 1;
+  }
+  last_settled_ = 0;
+  meeting_vertex_ = kInvalidVertex;
+  best_cost_ = kInfiniteCost;
+
+  struct Entry {
+    Seconds g;
+    VertexId vertex;
+    bool operator>(const Entry& other) const { return g > other.g; }
+  };
+  using Queue =
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>;
+  Queue queue[2];
+
+  auto seed = [&](int dir, VertexId v) {
+    dist_[dir][v] = 0.0;
+    parent_[dir][v] = kInvalidVertex;
+    epoch_[dir][v] = current_epoch_;
+    queue[dir].push(Entry{0.0, v});
+  };
+  seed(0, source);
+  seed(1, target);
+
+  auto try_meet = [&](VertexId v) {
+    if (epoch_[0][v] == current_epoch_ && epoch_[1][v] == current_epoch_) {
+      Seconds total = dist_[0][v] + dist_[1][v];
+      if (total < best_cost_) {
+        best_cost_ = total;
+        meeting_vertex_ = v;
+      }
+    }
+  };
+
+  // Alternate expansions; stop when the sum of frontier radii reaches the
+  // best meeting cost (standard bidirectional termination criterion).
+  Seconds radius[2] = {0.0, 0.0};
+  while (!queue[0].empty() || !queue[1].empty()) {
+    if (best_cost_ <= radius[0] + radius[1]) break;
+    int dir;
+    if (queue[0].empty()) {
+      dir = 1;
+    } else if (queue[1].empty()) {
+      dir = 0;
+    } else {
+      dir = queue[0].top().g <= queue[1].top().g ? 0 : 1;
+    }
+    Entry top = queue[dir].top();
+    queue[dir].pop();
+    if (epoch_[dir][top.vertex] != current_epoch_ ||
+        top.g > dist_[dir][top.vertex]) {
+      continue;  // stale
+    }
+    ++last_settled_;
+    radius[dir] = top.g;
+    auto arcs = dir == 0 ? network_.OutArcs(top.vertex)
+                         : network_.InArcs(top.vertex);
+    for (const Arc& arc : arcs) {
+      VertexId next = arc.head;
+      Seconds g = top.g + arc.cost;
+      if (epoch_[dir][next] != current_epoch_ || g < dist_[dir][next]) {
+        epoch_[dir][next] = current_epoch_;
+        dist_[dir][next] = g;
+        parent_[dir][next] = top.vertex;
+        queue[dir].push(Entry{g, next});
+        try_meet(next);
+      }
+    }
+  }
+  return meeting_vertex_ != kInvalidVertex;
+}
+
+Seconds BidirectionalSearch::Cost(VertexId source, VertexId target) {
+  if (source == target) return 0.0;
+  if (!Run(source, target)) return kInfiniteCost;
+  return best_cost_;
+}
+
+Path BidirectionalSearch::FindPath(VertexId source, VertexId target) {
+  if (source == target) return Path::Trivial(source);
+  if (!Run(source, target)) return Path::Invalid();
+  Path path;
+  path.cost = best_cost_;
+  path.valid = true;
+  // Forward half: meeting vertex back to source (reversed below).
+  for (VertexId v = meeting_vertex_; v != kInvalidVertex; v = parent_[0][v]) {
+    path.vertices.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  // Backward half: parents in the reverse search lead toward the target.
+  for (VertexId v = parent_[1][meeting_vertex_]; v != kInvalidVertex;
+       v = parent_[1][v]) {
+    path.vertices.push_back(v);
+    if (v == target) break;
+  }
+  return path;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,46 @@
+#ifndef MTSHARE_ROUTING_BIDIRECTIONAL_H_
+#define MTSHARE_ROUTING_BIDIRECTIONAL_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/path.h"
+
+namespace mtshare {
+
+/// Bidirectional Dijkstra: simultaneous forward search from the source and
+/// backward search (over reverse arcs) from the target, terminating when
+/// the frontiers' radii cover the best meeting point. Settles roughly half
+/// the vertices of a unidirectional search on city graphs and needs no
+/// geometric heuristic, so it also works when coordinates are unreliable.
+///
+/// Not thread-safe; create one per thread.
+class BidirectionalSearch {
+ public:
+  explicit BidirectionalSearch(const RoadNetwork& network);
+
+  /// Travel seconds of the shortest path, kInfiniteCost if unreachable.
+  Seconds Cost(VertexId source, VertexId target);
+
+  /// Full shortest path with vertices.
+  Path FindPath(VertexId source, VertexId target);
+
+  int64_t last_settled_count() const { return last_settled_; }
+
+ private:
+  bool Run(VertexId source, VertexId target);
+
+  const RoadNetwork& network_;
+  // Forward (0) and backward (1) search states, epoch-stamped.
+  std::vector<Seconds> dist_[2];
+  std::vector<VertexId> parent_[2];
+  std::vector<uint32_t> epoch_[2];
+  uint32_t current_epoch_ = 0;
+  int64_t last_settled_ = 0;
+  VertexId meeting_vertex_ = kInvalidVertex;
+  Seconds best_cost_ = kInfiniteCost;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_ROUTING_BIDIRECTIONAL_H_

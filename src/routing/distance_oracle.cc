@@ -1,0 +1,71 @@
+#include "routing/distance_oracle.h"
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+DistanceOracle::DistanceOracle(const RoadNetwork& network,
+                               const OracleOptions& options)
+    : network_(network),
+      options_(options),
+      exact_mode_(network.num_vertices() <= options.max_exact_vertices),
+      dijkstra_(network) {
+  if (exact_mode_) {
+    exact_rows_.resize(network.num_vertices());
+  }
+}
+
+const std::vector<Seconds>& DistanceOracle::FetchRow(VertexId source) {
+  if (exact_mode_) {
+    auto& row = exact_rows_[source];
+    if (row.empty()) {
+      ++row_misses_;
+      row = dijkstra_.CostsFrom(source);
+    }
+    return row;
+  }
+  auto it = cache_.find(source);
+  if (it != cache_.end()) {
+    lru_order_.splice(lru_order_.begin(), lru_order_, it->second.order_it);
+    return it->second.row;
+  }
+  ++row_misses_;
+  if (static_cast<int32_t>(cache_.size()) >= options_.lru_rows) {
+    VertexId victim = lru_order_.back();
+    lru_order_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_order_.push_front(source);
+  CacheEntry entry{dijkstra_.CostsFrom(source), lru_order_.begin()};
+  auto [ins_it, inserted] = cache_.emplace(source, std::move(entry));
+  MTSHARE_CHECK(inserted);
+  return ins_it->second.row;
+}
+
+Seconds DistanceOracle::Cost(VertexId source, VertexId target) {
+  MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
+  MTSHARE_CHECK(target >= 0 && target < network_.num_vertices());
+  ++queries_;
+  if (source == target) return 0.0;
+  return FetchRow(source)[target];
+}
+
+const std::vector<Seconds>& DistanceOracle::Row(VertexId source) {
+  ++queries_;
+  return FetchRow(source);
+}
+
+size_t DistanceOracle::MemoryBytes() const {
+  size_t bytes = 0;
+  if (exact_mode_) {
+    for (const auto& row : exact_rows_) bytes += row.size() * sizeof(Seconds);
+  } else {
+    for (const auto& [src, entry] : cache_) {
+      (void)src;
+      bytes += entry.row.size() * sizeof(Seconds) + sizeof(CacheEntry);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mtshare

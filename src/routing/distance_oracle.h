@@ -1,0 +1,76 @@
+#ifndef MTSHARE_ROUTING_DISTANCE_ORACLE_H_
+#define MTSHARE_ROUTING_DISTANCE_ORACLE_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/dijkstra.h"
+
+namespace mtshare {
+
+struct OracleOptions {
+  /// Networks up to this many vertices get a dense all-pairs table
+  /// (the paper precomputes and caches all-pairs shortest paths,
+  /// Sec. V-A4); larger networks fall back to an LRU row cache.
+  int32_t max_exact_vertices = 4200;
+
+  /// Number of one-to-all rows retained in LRU mode.
+  int32_t lru_rows = 4096;
+};
+
+/// Shortest-path *cost* oracle with O(1) amortized queries, mirroring the
+/// paper's assumption that "the shortest path query will take O(1) time"
+/// (Sec. IV-C). Exact dense table for small graphs; LRU-cached Dijkstra
+/// rows for large ones. Costs only — use DijkstraSearch/AStarSearch when
+/// the vertex sequence is needed.
+///
+/// Not thread-safe; the simulation engine is single-threaded by design.
+class DistanceOracle {
+ public:
+  DistanceOracle(const RoadNetwork& network, const OracleOptions& options = {});
+
+  /// Travel seconds from source to target (kInfiniteCost if unreachable).
+  Seconds Cost(VertexId source, VertexId target);
+
+  /// One-to-all row for `source`. Valid until the row is evicted; copy if
+  /// retention is needed.
+  const std::vector<Seconds>& Row(VertexId source);
+
+  bool exact_mode() const { return exact_mode_; }
+  int64_t queries() const { return queries_; }
+  int64_t row_misses() const { return row_misses_; }
+
+  /// Resident bytes of the table / cache (Tab. IV memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  const std::vector<Seconds>& FetchRow(VertexId source);
+
+  const RoadNetwork& network_;
+  OracleOptions options_;
+  bool exact_mode_;
+  DijkstraSearch dijkstra_;
+
+  /// Exact mode: dense row-major table, filled lazily one row at a time
+  /// (a fully eager fill would still be fine but wastes startup time when
+  /// only part of the city is touched).
+  std::vector<std::vector<Seconds>> exact_rows_;
+
+  /// LRU mode.
+  std::list<VertexId> lru_order_;  // front = most recent
+  struct CacheEntry {
+    std::vector<Seconds> row;
+    std::list<VertexId>::iterator order_it;
+  };
+  std::unordered_map<VertexId, CacheEntry> cache_;
+
+  int64_t queries_ = 0;
+  int64_t row_misses_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_ROUTING_DISTANCE_ORACLE_H_

@@ -1,0 +1,21 @@
+#include "routing/path.h"
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+Path ConcatPaths(const Path& a, const Path& b) {
+  if (!a.valid || !b.valid) return Path::Invalid();
+  MTSHARE_CHECK(!a.empty() && !b.empty());
+  MTSHARE_CHECK(a.back() == b.front());
+  Path out;
+  out.vertices.reserve(a.vertices.size() + b.vertices.size() - 1);
+  out.vertices = a.vertices;
+  out.vertices.insert(out.vertices.end(), b.vertices.begin() + 1,
+                      b.vertices.end());
+  out.cost = a.cost + b.cost;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,128 @@
+#ifndef MTSHARE_SCHED_ROUTE_PLANNER_H_
+#define MTSHARE_SCHED_ROUTE_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/transition_model.h"
+#include "routing/distance_oracle.h"
+#include "sched/partition_filter.h"
+#include "sched/schedule.h"
+
+namespace mtshare {
+
+struct RoutePlannerOptions {
+  /// Direction threshold lambda shared by partition filtering and the
+  /// suitable-destination test (Table II default 0.707 == 45 degrees).
+  double lambda = 0.707;
+  /// Cost-rule slack epsilon (paper sets 1.0 conservatively).
+  double epsilon = 1.0;
+  /// Probabilistic routing retries before discarding (paper: 5).
+  int32_t max_attempts = 5;
+  /// Bound on enumerated landmark paths per leg (the paper enumerates all
+  /// paths of the small filtered landmark graph; we cap for safety).
+  int32_t max_partition_paths = 64;
+  /// Bound on landmark-path hops during enumeration.
+  int32_t max_path_hops = 10;
+  /// Cap on a probabilistic leg's travel relative to its shortest leg:
+  /// budget = min(deadline slack, shortest * stretch + slack_s). Keeps the
+  /// offline-seeking detour from consuming the very slack needed to insert
+  /// an encountered hailer (the probability/detour trade-off the paper
+  /// defers to future work, Sec. IV-C2).
+  double prob_max_stretch = 1.5;
+  Seconds prob_extra_slack = 90.0;
+};
+
+/// Two-phase route planning (paper Sec. IV-C2): partition filtering plus
+/// segment-level routing, in basic (shortest path, Algorithm 3) or
+/// probabilistic (offline-request seeking, Algorithm 4) mode.
+///
+/// Not thread-safe; owns reusable search buffers.
+class RoutePlanner {
+ public:
+  /// `transitions` may be null when only basic routing is used; when
+  /// provided, its group space must be the partitioning's partitions.
+  RoutePlanner(const RoadNetwork& network, const MapPartitioning& partitioning,
+               const LandmarkGraph& landmark_graph,
+               const TransitionModel* transitions, DistanceOracle* oracle,
+               const RoutePlannerOptions& options);
+
+  /// Algorithm 3 for one leg: shortest path on the partition-filtered
+  /// subgraph; falls back to the unrestricted graph if the filtered
+  /// subgraph disconnects the endpoints.
+  Path PlanBasicLeg(VertexId from, VertexId to);
+
+  /// Algorithm 4 for one leg: maximize the probability of encountering
+  /// direction-compatible offline requests, subject to the leg completing
+  /// within `travel_budget` seconds. `taxi_direction` is the displacement
+  /// of the taxi's mobility vector. Returns an invalid path when no
+  /// attempt satisfies the budget (caller falls back or discards).
+  Path PlanProbabilisticLeg(VertexId from, VertexId to,
+                            const Point& taxi_direction,
+                            Seconds travel_budget);
+
+  /// A materialized route for a whole schedule.
+  struct PlannedRoute {
+    bool valid = false;
+    Path path;                            ///< concatenated leg paths
+    std::vector<Seconds> event_arrivals;  ///< absolute arrival per event
+  };
+
+  /// Plans every leg of `schedule` starting from `start` at `start_time`.
+  /// In probabilistic mode each leg gets the largest travel budget that
+  /// keeps all remaining deadlines reachable (assuming shortest-path legs
+  /// afterwards); legs where probabilistic planning fails fall back to
+  /// basic. Returns invalid if any deadline is missed.
+  PlannedRoute PlanRoute(VertexId start, Seconds start_time,
+                         const Schedule& schedule, bool probabilistic,
+                         const Point& taxi_direction = Point{0, 0});
+
+  /// Probability mass of meeting suitable requests inside partition `p`
+  /// for a taxi heading along `taxi_direction` (Algorithm 4 step 1);
+  /// exposed for tests and the routing-mode benches.
+  double PartitionEncounterMass(PartitionId p,
+                                const Point& taxi_direction) const;
+
+  int64_t basic_legs() const { return basic_legs_; }
+  int64_t probabilistic_legs() const { return prob_legs_; }
+  int64_t probabilistic_fallbacks() const { return prob_fallbacks_; }
+
+ private:
+  /// Destination partitions compatible with the taxi direction from
+  /// partition p.
+  std::vector<int32_t> SuitableDestinations(PartitionId p,
+                                            const Point& taxi_direction) const;
+
+  /// Enumerates simple landmark paths from `pz` to `pz1` within the kept
+  /// partitions, ordered by descending accumulated encounter mass.
+  std::vector<std::vector<PartitionId>> EnumeratePartitionPaths(
+      const std::vector<PartitionId>& kept, PartitionId pz, PartitionId pz1,
+      const Point& taxi_direction) const;
+
+  void ClearMask();
+
+  const RoadNetwork& network_;
+  const MapPartitioning& partitioning_;
+  const LandmarkGraph& landmarks_;
+  const TransitionModel* transitions_;
+  DistanceOracle* oracle_;
+  RoutePlannerOptions options_;
+  PartitionFilter filter_;
+  DijkstraSearch dijkstra_;
+
+  /// Partition-to-partition transition mass: sum over vertices of the row
+  /// partition of their transition probability into the column partition.
+  std::vector<double> partition_transition_;  // kappa x kappa, row-major
+
+  std::vector<uint8_t> mask_;
+  std::vector<PartitionId> mask_partitions_;  // partitions currently set
+  std::vector<double> vertex_weights_;
+
+  int64_t basic_legs_ = 0;
+  int64_t prob_legs_ = 0;
+  int64_t prob_fallbacks_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SCHED_ROUTE_PLANNER_H_

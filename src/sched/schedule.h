@@ -1,0 +1,119 @@
+#ifndef MTSHARE_SCHED_SCHEDULE_H_
+#define MTSHARE_SCHED_SCHEDULE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "demand/request.h"
+
+namespace mtshare {
+
+/// One pickup or dropoff stop in a taxi schedule (paper Def. 4).
+struct ScheduleEvent {
+  RequestId request = kInvalidRequest;
+  VertexId vertex = kInvalidVertex;
+  bool is_pickup = false;
+  /// Latest permissible execution time: the request's delivery deadline for
+  /// dropoffs, its pickup deadline for pickups.
+  Seconds deadline = 0.0;
+  /// Party size of the request (capacity delta: + on pickup, - on dropoff).
+  int32_t passengers = 1;
+};
+
+/// Travel-cost callback used by feasibility checks — typically bound to
+/// DistanceOracle::Cost, giving the O(1) queries the paper assumes.
+using LegCostFn = std::function<Seconds(VertexId, VertexId)>;
+
+/// An ordered event list S_tj. Pickup of a request always precedes its
+/// dropoff. The schedule does not know taxi position/time; those are
+/// supplied to the checking functions.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  const std::vector<ScheduleEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const ScheduleEvent& at(size_t i) const { return events_[i]; }
+
+  /// Appends an event (building-block; prefer WithInsertion).
+  void Append(const ScheduleEvent& event) { events_.push_back(event); }
+
+  /// Removes the first event (after the taxi executes it).
+  void PopFront();
+
+  /// Drops both events of a request (e.g., a rider cancellation).
+  void EraseRequest(RequestId request);
+
+  /// New schedule with the request's pickup inserted before position
+  /// `pickup_pos` and dropoff before `dropoff_pos` of the *original* event
+  /// list (pickup_pos <= dropoff_pos <= size()). Existing event order is
+  /// preserved — the paper's design choice shared with prior work
+  /// (Sec. IV-C2).
+  static Schedule WithInsertion(const Schedule& base, const RideRequest& r,
+                                size_t pickup_pos, size_t dropoff_pos);
+
+  /// Number of riders that will be aboard after all events execute, given
+  /// `onboard` currently in the taxi (sanity helper; 0 for consistent
+  /// schedules that drop off everyone).
+  int32_t FinalOnboard(int32_t onboard) const;
+
+ private:
+  std::vector<ScheduleEvent> events_;
+};
+
+/// Outcome of walking a schedule from the taxi's position.
+struct ScheduleCheck {
+  bool feasible = false;
+  /// Total travel seconds from the start vertex through every event.
+  Seconds total_travel = 0.0;
+  /// Absolute time the last event executes.
+  Seconds completion_time = 0.0;
+  /// Absolute arrival time per event (valid when feasible).
+  std::vector<Seconds> event_arrivals;
+};
+
+/// Simulates the schedule: starting at `start_vertex` at `start_time` with
+/// `onboard` riders, drives leg-by-leg using `leg_cost`, enforcing each
+/// event's deadline and the capacity bound at every moment (paper Sec. III-C
+/// constraints).
+ScheduleCheck CheckSchedule(const Schedule& schedule, VertexId start_vertex,
+                            Seconds start_time, int32_t onboard,
+                            int32_t capacity, const LegCostFn& leg_cost);
+
+/// Result of searching all insertion positions of a request into a schedule.
+struct InsertionResult {
+  bool found = false;
+  size_t pickup_pos = 0;
+  size_t dropoff_pos = 0;
+  /// Increase in total travel vs. the unmodified schedule — the detour cost
+  /// omega of paper eq. (4)/Algorithm 1.
+  Seconds detour = kInfiniteCost;
+  Schedule schedule;   // the winning instance
+  ScheduleCheck check;  // its feasibility walk
+};
+
+/// Enumerates all (pickup_pos <= dropoff_pos) insertions of `r` into `base`
+/// (O(m^2) instances, each checked in O(m)) and returns the feasible
+/// instance with minimum detour. This is the exhaustive scan of paper
+/// Algorithm 1's inner loop.
+InsertionResult FindBestInsertion(const Schedule& base, const RideRequest& r,
+                                  VertexId taxi_location, Seconds now,
+                                  int32_t onboard, int32_t capacity,
+                                  const LegCostFn& leg_cost);
+
+/// Same optimum as FindBestInsertion, computed with the dynamic-programming
+/// slack precomputation of the pGreedyDP baseline (Tong et al., VLDB'18):
+/// prefix arrival times and suffix slack arrays make each candidate pair
+/// O(1) to evaluate after O(m) setup, so the whole search is O(m^2) instead
+/// of O(m^3).
+InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
+                                    VertexId taxi_location, Seconds now,
+                                    int32_t onboard, int32_t capacity,
+                                    const LegCostFn& leg_cost);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SCHED_SCHEDULE_H_

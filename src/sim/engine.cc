@@ -1,0 +1,232 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "sim/taxi.h"
+
+namespace mtshare {
+
+SimulationEngine::SimulationEngine(const RoadNetwork& network,
+                                   Dispatcher* dispatcher,
+                                   std::vector<TaxiState>* fleet,
+                                   const EngineOptions& options)
+    : network_(network),
+      dispatcher_(dispatcher),
+      fleet_(fleet),
+      options_(options) {
+  MTSHARE_CHECK(dispatcher != nullptr);
+  MTSHARE_CHECK(fleet != nullptr);
+  if (options.serve_offline) {
+    snap_ = std::make_unique<GridIndex>(
+        network, std::max(50.0, options.encounter_radius_m));
+  }
+}
+
+Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
+  WallTimer run_timer;
+  metrics_ = Metrics();
+  requests_ = requests;
+  waiting_offline_.clear();
+  offline_done_.assign(requests.size(), 0);
+
+  Seconds last_deadline = 0.0;
+  for (const RideRequest& r : requests_) {
+    MTSHARE_CHECK(r.id == static_cast<RequestId>(&r - requests_.data()));
+    last_deadline = std::max(last_deadline, r.deadline);
+  }
+
+  for (const RideRequest& r : requests_) {
+    AdvanceAll(r.release_time);
+    metrics_.Register(r);
+    if (r.offline) {
+      if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
+        // Register the hailer at every vertex a passing driver could spot
+        // them from.
+        for (VertexId v : snap_->VerticesInRadius(
+                 network_.coord(r.origin), options_.encounter_radius_m)) {
+          waiting_offline_[v].push_back(r.id);
+        }
+      }
+      continue;  // invisible to the dispatcher until encountered
+    }
+    WallTimer response_timer;
+    DispatchOutcome outcome = dispatcher_->Dispatch(r, r.release_time);
+    double ms = response_timer.ElapsedMillis();
+    RequestRecord& rec = metrics_.record(r.id);
+    rec.response_ms = ms;
+    rec.candidates = outcome.candidates;
+    if (outcome.assigned) {
+      rec.assigned = true;
+      rec.taxi = outcome.taxi;
+      TaxiState& taxi = (*fleet_)[outcome.taxi];
+      ApplyPlan(&taxi, network_, std::move(outcome.schedule),
+                outcome.route.path.vertices,
+                std::move(outcome.route.event_arrivals), r.release_time,
+                outcome.probabilistic_route);
+      ExecuteDueEvents(taxi);  // pickup may be immediate (same vertex)
+      dispatcher_->OnScheduleCommitted(outcome.taxi);
+    }
+  }
+
+  AdvanceAll(last_deadline + options_.drain_margin);
+
+  metrics_.index_memory_bytes = dispatcher_->IndexMemoryBytes();
+  double income = 0.0;
+  for (const TaxiState& t : *fleet_) income += t.income;
+  metrics_.total_driver_income = income;
+  metrics_.execution_seconds = run_timer.ElapsedSeconds();
+  return std::move(metrics_);
+}
+
+void SimulationEngine::AdvanceAll(Seconds now) {
+  for (TaxiState& taxi : *fleet_) {
+    AdvanceTaxi(taxi, now);
+    if (options_.serve_offline && taxi.Idle() && !taxi.HasRoute()) {
+      // Offer the idle taxi a cruise (mT-Share-pro steers empty taxis
+      // toward offline demand; other schemes park them).
+      RoutePlanner::PlannedRoute cruise =
+          dispatcher_->PlanIdleCruise(taxi.id, now);
+      if (cruise.valid && cruise.path.vertices.size() > 1) {
+        ApplyPlan(&taxi, network_, Schedule(), cruise.path.vertices, {}, now,
+                  /*probabilistic_route=*/true);
+      }
+    }
+  }
+}
+
+void SimulationEngine::AdvanceTaxi(TaxiState& taxi, Seconds now) {
+  while (taxi.route_pos + 1 < taxi.route.size() &&
+         taxi.route_times[taxi.route_pos + 1] <= now) {
+    VertexId from = taxi.route[taxi.route_pos];
+    VertexId to = taxi.route[taxi.route_pos + 1];
+    double meters = ArcLengthMeters(network_, from, to);
+    taxi.driven_meters += meters;
+    if (taxi.onboard > 0) {
+      taxi.occupied_meters += meters;
+      taxi.episode_meters += meters;
+    }
+    ++taxi.route_pos;
+    taxi.location = to;
+    taxi.location_time = taxi.route_times[taxi.route_pos];
+
+    bool had_events = !taxi.schedule.empty();
+    ExecuteDueEvents(taxi);
+    dispatcher_->OnTaxiMoved(taxi.id);
+    if (had_events && taxi.schedule.empty()) {
+      // Route drained to idle; let the scheme refresh its indexes.
+      dispatcher_->OnScheduleCommitted(taxi.id);
+    }
+    CheckOfflineEncounters(taxi, taxi.location_time);
+  }
+}
+
+void SimulationEngine::ExecuteDueEvents(TaxiState& taxi) {
+  while (!taxi.schedule.empty()) {
+    const ScheduleEvent event = taxi.schedule.events().front();
+    Seconds planned = taxi.event_arrivals.front();
+    if (event.vertex != taxi.location ||
+        planned > taxi.location_time + 1e-6) {
+      break;
+    }
+    taxi.schedule.PopFront();
+    taxi.event_arrivals.erase(taxi.event_arrivals.begin());
+    if (event.is_pickup) {
+      HandlePickup(taxi, event, planned);
+    } else {
+      HandleDropoff(taxi, event, planned);
+    }
+  }
+}
+
+void SimulationEngine::HandlePickup(TaxiState& taxi,
+                                    const ScheduleEvent& event, Seconds when) {
+  taxi.onboard += event.passengers;
+  MTSHARE_CHECK(taxi.onboard <= taxi.capacity);
+  taxi.episode_requests.push_back(event.request);
+  RequestRecord& rec = metrics_.record(event.request);
+  rec.pickup_time = when;
+}
+
+void SimulationEngine::HandleDropoff(TaxiState& taxi,
+                                     const ScheduleEvent& event,
+                                     Seconds when) {
+  taxi.onboard -= event.passengers;
+  MTSHARE_CHECK(taxi.onboard >= 0);
+  RequestRecord& rec = metrics_.record(event.request);
+  rec.dropoff_time = when;
+  rec.completed = true;
+  dispatcher_->OnRequestCompleted(requests_[event.request], taxi.id);
+  if (taxi.onboard == 0) SettleEpisodeFor(taxi);
+}
+
+void SimulationEngine::SettleEpisodeFor(TaxiState& taxi) {
+  if (taxi.episode_requests.empty()) return;
+  std::vector<EpisodePassenger> riders;
+  riders.reserve(taxi.episode_requests.size());
+  for (RequestId id : taxi.episode_requests) {
+    const RequestRecord& rec = metrics_.record(id);
+    MTSHARE_CHECK(rec.completed);
+    EpisodePassenger p;
+    p.request = id;
+    p.direct_m = rec.direct_cost * network_.speed_mps();
+    p.traveled_m = (rec.dropoff_time - rec.pickup_time) * network_.speed_mps();
+    riders.push_back(p);
+  }
+  EpisodeSettlement settlement =
+      SettleEpisode(riders, taxi.episode_meters, options_.payment);
+  for (const PassengerSettlement& p : settlement.passengers) {
+    RequestRecord& rec = metrics_.record(p.request);
+    rec.regular_fare = p.regular_fare;
+    rec.shared_fare = p.shared_fare;
+  }
+  taxi.income += settlement.driver_income;
+  taxi.episode_requests.clear();
+  taxi.episode_meters = 0.0;
+}
+
+void SimulationEngine::CheckOfflineEncounters(TaxiState& taxi, Seconds now) {
+  if (!options_.serve_offline || !dispatcher_->ServesOfflineRequests()) return;
+  auto it = waiting_offline_.find(taxi.location);
+  if (it == waiting_offline_.end()) return;
+  auto& waiting = it->second;
+  for (size_t i = 0; i < waiting.size();) {
+    const RideRequest& r = requests_[waiting[i]];
+    if (offline_done_[r.id] || now > r.PickupDeadline()) {
+      // Served elsewhere, or expired: the passenger is gone.
+      offline_done_[r.id] = offline_done_[r.id] ? offline_done_[r.id] : 1;
+      waiting[i] = waiting.back();
+      waiting.pop_back();
+      continue;
+    }
+    if (now < r.release_time) {
+      ++i;  // not hailing yet
+      continue;
+    }
+    WallTimer response_timer;
+    DispatchOutcome outcome =
+        dispatcher_->TryServeEncountered(r, taxi.id, now);
+    if (!outcome.assigned) {
+      ++i;
+      continue;
+    }
+    RequestRecord& rec = metrics_.record(r.id);
+    rec.assigned = true;
+    rec.taxi = taxi.id;
+    rec.response_ms = response_timer.ElapsedMillis();
+    rec.candidates = outcome.candidates;
+    ApplyPlan(&taxi, network_, std::move(outcome.schedule),
+              outcome.route.path.vertices,
+              std::move(outcome.route.event_arrivals), now,
+              outcome.probabilistic_route);
+    ExecuteDueEvents(taxi);  // the pickup may be immediate
+    dispatcher_->OnScheduleCommitted(taxi.id);
+    offline_done_[r.id] = 1;
+    waiting[i] = waiting.back();
+    waiting.pop_back();
+  }
+  if (waiting.empty()) waiting_offline_.erase(it);
+}
+
+}  // namespace mtshare

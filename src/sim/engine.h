@@ -1,0 +1,77 @@
+#ifndef MTSHARE_SIM_ENGINE_H_
+#define MTSHARE_SIM_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/dispatcher.h"
+#include "payment/payment_model.h"
+#include "sim/metrics.h"
+#include "spatial/grid_index.h"
+
+namespace mtshare {
+
+struct EngineOptions {
+  /// Enables offline-request encounters for schemes that support them.
+  bool serve_offline = true;
+  /// A passing driver notices a street-hailing passenger within this
+  /// distance of the taxi's current vertex (vertex-exact would require the
+  /// taxi to drive over the exact corner the passenger stands on).
+  double encounter_radius_m = 200.0;
+  /// Extra simulated time after the last request so in-flight deliveries
+  /// can finish.
+  Seconds drain_margin = 3600.0;
+  PaymentConfig payment;
+};
+
+/// Event-driven simulation of a taxi fleet under one matching scheme.
+/// Requests arrive in release order; taxis move along their committed
+/// routes at vertex granularity; pickups/dropoffs fire at their planned
+/// times; offline requests are discovered when a taxi reaches their origin
+/// vertex while they wait. Single-threaded by design (response-time
+/// measurements stay clean).
+class SimulationEngine {
+ public:
+  /// `fleet` is owned by the caller (the dispatcher reads it); the engine
+  /// mutates it while running.
+  SimulationEngine(const RoadNetwork& network, Dispatcher* dispatcher,
+                   std::vector<TaxiState>* fleet,
+                   const EngineOptions& options);
+
+  /// Runs the request stream (must be sorted by release time, ids dense
+  /// from 0) to completion and returns the collected metrics.
+  Metrics Run(const std::vector<RideRequest>& requests);
+
+ private:
+  void AdvanceAll(Seconds now);
+  void AdvanceTaxi(TaxiState& taxi, Seconds now);
+  /// Executes due schedule events while the taxi sits at its location.
+  void ExecuteDueEvents(TaxiState& taxi);
+  void HandlePickup(TaxiState& taxi, const ScheduleEvent& event,
+                    Seconds when);
+  void HandleDropoff(TaxiState& taxi, const ScheduleEvent& event,
+                     Seconds when);
+  void SettleEpisodeFor(TaxiState& taxi);
+  void CheckOfflineEncounters(TaxiState& taxi, Seconds now);
+
+  const RoadNetwork& network_;
+  Dispatcher* dispatcher_;
+  std::vector<TaxiState>* fleet_;
+  EngineOptions options_;
+  Metrics metrics_;
+
+  /// Request stream by id for lookups (offline encounters, completion).
+  std::vector<RideRequest> requests_;
+  /// Waiting offline requests indexed by every vertex within the encounter
+  /// radius of their origin.
+  std::unordered_map<VertexId, std::vector<RequestId>> waiting_offline_;
+  /// Offline request lifecycle: 0 = waiting, 1 = served or expired.
+  std::vector<uint8_t> offline_done_;
+  /// Vertex snapping index for encounter-radius registration.
+  std::unique_ptr<GridIndex> snap_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SIM_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "sim/metrics.h"
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+void Metrics::Register(const RideRequest& request) {
+  MTSHARE_CHECK(request.id == static_cast<RequestId>(records_.size()));
+  RequestRecord rec;
+  rec.id = request.id;
+  rec.offline = request.offline;
+  rec.release_time = request.release_time;
+  rec.direct_cost = request.direct_cost;
+  records_.push_back(rec);
+}
+
+int32_t Metrics::ServedRequests() const {
+  int32_t n = 0;
+  for (const auto& r : records_) n += r.completed ? 1 : 0;
+  return n;
+}
+
+int32_t Metrics::ServedOnline() const {
+  int32_t n = 0;
+  for (const auto& r : records_) n += (r.completed && !r.offline) ? 1 : 0;
+  return n;
+}
+
+int32_t Metrics::ServedOffline() const {
+  int32_t n = 0;
+  for (const auto& r : records_) n += (r.completed && r.offline) ? 1 : 0;
+  return n;
+}
+
+double Metrics::MeanResponseMs() const {
+  SummaryStats s;
+  for (const auto& r : records_) {
+    if (!r.offline) s.Add(r.response_ms);
+  }
+  return s.Mean();
+}
+
+double Metrics::MeanDetourMinutes() const {
+  SummaryStats s;
+  for (const auto& r : records_) {
+    if (r.completed) {
+      double detour = (r.dropoff_time - r.pickup_time) - r.direct_cost;
+      s.Add(std::max(0.0, detour) / 60.0);
+    }
+  }
+  return s.Mean();
+}
+
+double Metrics::MeanWaitingMinutes() const {
+  SummaryStats s;
+  for (const auto& r : records_) {
+    if (r.completed) s.Add((r.pickup_time - r.release_time) / 60.0);
+  }
+  return s.Mean();
+}
+
+double Metrics::MeanCandidates() const {
+  SummaryStats s;
+  for (const auto& r : records_) {
+    if (!r.offline) s.Add(r.candidates);
+  }
+  return s.Mean();
+}
+
+double Metrics::TotalRegularFares() const {
+  double total = 0.0;
+  for (const auto& r : records_) {
+    if (r.completed) total += r.regular_fare;
+  }
+  return total;
+}
+
+double Metrics::TotalSharedFares() const {
+  double total = 0.0;
+  for (const auto& r : records_) {
+    if (r.completed) total += r.shared_fare;
+  }
+  return total;
+}
+
+double Metrics::MeanFareSaving() const {
+  SummaryStats s;
+  for (const auto& r : records_) {
+    if (r.completed && r.regular_fare > 0.0) {
+      s.Add(1.0 - r.shared_fare / r.regular_fare);
+    }
+  }
+  return s.Mean();
+}
+
+}  // namespace mtshare

@@ -1,0 +1,78 @@
+#ifndef MTSHARE_SIM_METRICS_H_
+#define MTSHARE_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "demand/request.h"
+
+namespace mtshare {
+
+/// Per-request lifecycle record kept by the simulation engine.
+struct RequestRecord {
+  RequestId id = kInvalidRequest;
+  bool offline = false;
+  bool assigned = false;
+  bool completed = false;
+  Seconds release_time = 0.0;
+  Seconds direct_cost = 0.0;
+  Seconds pickup_time = -1.0;
+  Seconds dropoff_time = -1.0;
+  TaxiId taxi = kInvalidTaxi;
+  /// Wall-clock milliseconds the dispatcher spent on this request.
+  double response_ms = 0.0;
+  /// Candidate taxis examined at dispatch (paper Table III).
+  int32_t candidates = 0;
+  /// Settled fares (valid once completed and the episode settled).
+  double regular_fare = 0.0;
+  double shared_fare = 0.0;
+};
+
+/// Aggregated results of one simulation run — the quantities the paper's
+/// evaluation section reports.
+class Metrics {
+ public:
+  void Register(const RideRequest& request);
+  RequestRecord& record(RequestId id) { return records_[id]; }
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  // --- paper metrics (Sec. V-A3) ---
+  /// Requests delivered before their deadlines.
+  int32_t ServedRequests() const;
+  int32_t ServedOnline() const;
+  int32_t ServedOffline() const;
+  int32_t TotalRequests() const {
+    return static_cast<int32_t>(records_.size());
+  }
+  /// Mean dispatcher processing time per *online* request, ms.
+  double MeanResponseMs() const;
+  /// Mean extra in-vehicle time vs. the direct trip, minutes (served only).
+  double MeanDetourMinutes() const;
+  /// Mean pickup wait, minutes (served only; offline requests wait from
+  /// release to encounter).
+  double MeanWaitingMinutes() const;
+  /// Mean candidate-set size over online requests (Table III).
+  double MeanCandidates() const;
+
+  // --- payment metrics (Fig. 19) ---
+  double TotalRegularFares() const;
+  double TotalSharedFares() const;
+  /// Mean relative fare saving over served requests.
+  double MeanFareSaving() const;
+
+  /// Index memory reported by the dispatcher at run end (Table IV).
+  size_t index_memory_bytes = 0;
+  /// Total driver income accumulated across the fleet.
+  double total_driver_income = 0.0;
+  /// Wall-clock seconds of the whole run (paper Fig. 21a).
+  double execution_seconds = 0.0;
+
+ private:
+  std::vector<RequestRecord> records_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SIM_METRICS_H_

@@ -1,0 +1,61 @@
+#include "sim/taxi.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mtshare {
+namespace {
+
+const Arc* FindCheapestArc(const RoadNetwork& network, VertexId u,
+                           VertexId v) {
+  const Arc* best = nullptr;
+  for (const Arc& arc : network.OutArcs(u)) {
+    if (arc.head == v && (best == nullptr || arc.cost < best->cost)) {
+      best = &arc;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
+                                       const std::vector<VertexId>& path,
+                                       Seconds start_time) {
+  std::vector<Seconds> times;
+  times.reserve(path.size());
+  Seconds t = start_time;
+  times.push_back(t);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Arc* arc = FindCheapestArc(network, path[i], path[i + 1]);
+    MTSHARE_CHECK(arc != nullptr);
+    t += arc->cost;
+    times.push_back(t);
+  }
+  return times;
+}
+
+double ArcLengthMeters(const RoadNetwork& network, VertexId u, VertexId v) {
+  const Arc* arc = FindCheapestArc(network, u, v);
+  MTSHARE_CHECK(arc != nullptr);
+  return arc->length_m;
+}
+
+void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
+               const std::vector<VertexId>& path,
+               std::vector<Seconds> event_arrivals, Seconds now,
+               bool probabilistic_route) {
+  MTSHARE_CHECK(!path.empty());
+  MTSHARE_CHECK(path.front() == taxi->location);
+  MTSHARE_CHECK(schedule.size() == event_arrivals.size());
+  taxi->schedule = std::move(schedule);
+  taxi->event_arrivals = std::move(event_arrivals);
+  taxi->route = path;
+  taxi->route_times = ComputeRouteTimes(network, path, now);
+  taxi->route_pos = 0;
+  taxi->location_time = now;
+  taxi->probabilistic_route = probabilistic_route;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,30 @@
+#ifndef MTSHARE_SIM_TAXI_H_
+#define MTSHARE_SIM_TAXI_H_
+
+#include <vector>
+
+#include "matching/taxi_state.h"
+
+namespace mtshare {
+
+/// Computes per-vertex arrival times for a path departing at `start_time`,
+/// using the cheapest arc between consecutive vertices. Dies if the path
+/// uses a nonexistent arc (routes must come from the planners).
+std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
+                                       const std::vector<VertexId>& path,
+                                       Seconds start_time);
+
+/// Applies a dispatch plan to a taxi: replaces schedule, route, and event
+/// arrival times; the taxi departs its current location at `now`.
+void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
+               const std::vector<VertexId>& path,
+               std::vector<Seconds> event_arrivals, Seconds now,
+               bool probabilistic_route);
+
+/// Length in meters of the cheapest arc from u to v (helper for odometer
+/// accounting). Dies if absent.
+double ArcLengthMeters(const RoadNetwork& network, VertexId u, VertexId v);
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SIM_TAXI_H_

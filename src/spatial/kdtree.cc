@@ -1,0 +1,83 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace mtshare {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = BuildRecursive(0, static_cast<int32_t>(points_.size()), 0);
+}
+
+int32_t KdTree::BuildRecursive(int32_t lo, int32_t hi, int depth) {
+  if (lo >= hi) return -1;
+  uint8_t axis = static_cast<uint8_t>(depth % 2);
+  int32_t mid = lo + (hi - lo) / 2;
+  std::nth_element(order_.begin() + lo, order_.begin() + mid,
+                   order_.begin() + hi, [&](int32_t a, int32_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{order_[mid], -1, -1, axis});
+  // Children are built after the push; write indices via the vector to
+  // survive reallocation.
+  int32_t left = BuildRecursive(lo, mid, depth + 1);
+  int32_t right = BuildRecursive(mid + 1, hi, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+int32_t KdTree::Nearest(const Point& query) const {
+  if (root_ == -1) return -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  int32_t best_index = -1;
+  NearestRecursive(root_, query, best_d2, best_index);
+  return best_index;
+}
+
+void KdTree::NearestRecursive(int32_t node, const Point& query,
+                              double& best_d2, int32_t& best_index) const {
+  if (node == -1) return;
+  const Node& n = nodes_[node];
+  const Point& p = points_[n.point_index];
+  double d2 = DistanceSquared(p, query);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best_index = n.point_index;
+  }
+  double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  int32_t near = delta < 0 ? n.left : n.right;
+  int32_t far = delta < 0 ? n.right : n.left;
+  NearestRecursive(near, query, best_d2, best_index);
+  if (delta * delta < best_d2) {
+    NearestRecursive(far, query, best_d2, best_index);
+  }
+}
+
+std::vector<int32_t> KdTree::RadiusSearch(const Point& query,
+                                          double radius_m) const {
+  std::vector<int32_t> out;
+  RadiusRecursive(root_, query, radius_m * radius_m, &out);
+  return out;
+}
+
+void KdTree::RadiusRecursive(int32_t node, const Point& query, double r2,
+                             std::vector<int32_t>* out) const {
+  if (node == -1) return;
+  const Node& n = nodes_[node];
+  const Point& p = points_[n.point_index];
+  if (DistanceSquared(p, query) <= r2) out->push_back(n.point_index);
+  double delta = n.axis == 0 ? query.x - p.x : query.y - p.y;
+  int32_t near = delta < 0 ? n.left : n.right;
+  int32_t far = delta < 0 ? n.right : n.left;
+  RadiusRecursive(near, query, r2, out);
+  if (delta * delta <= r2) RadiusRecursive(far, query, r2, out);
+}
+
+}  // namespace mtshare

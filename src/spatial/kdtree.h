@@ -1,0 +1,49 @@
+#ifndef MTSHARE_SPATIAL_KDTREE_H_
+#define MTSHARE_SPATIAL_KDTREE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/latlng.h"
+
+namespace mtshare {
+
+/// Static 2-d tree over a point set. Alternative snapping structure to
+/// GridIndex with better worst-case behaviour on non-uniform vertex
+/// densities (e.g., the ring-city topology where the center is dense).
+class KdTree {
+ public:
+  /// Builds over a copy of the points (ids are the point indices).
+  explicit KdTree(std::vector<Point> points);
+
+  /// Index of the nearest point; -1 for an empty tree.
+  int32_t Nearest(const Point& query) const;
+
+  /// Indices of all points within radius_m of query.
+  std::vector<int32_t> RadiusSearch(const Point& query, double radius_m) const;
+
+  int32_t size() const { return static_cast<int32_t>(points_.size()); }
+
+ private:
+  struct Node {
+    int32_t point_index = -1;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint8_t axis = 0;
+  };
+
+  int32_t BuildRecursive(int32_t lo, int32_t hi, int depth);
+  void NearestRecursive(int32_t node, const Point& query, double& best_d2,
+                        int32_t& best_index) const;
+  void RadiusRecursive(int32_t node, const Point& query, double r2,
+                       std::vector<int32_t>* out) const;
+
+  std::vector<Point> points_;
+  std::vector<int32_t> order_;  // permutation sorted during build
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SPATIAL_KDTREE_H_

@@ -1,0 +1,161 @@
+#include "core/mtshare_system.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+TEST(SystemConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(SystemConfig{}.Validate().ok());
+}
+
+TEST(SystemConfigTest, RejectsBadValues) {
+  SystemConfig c;
+  c.kappa = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.kt = c.kappa + 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.rho = 1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.matching.lambda = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.payment.beta = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.taxi_capacity = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.matching.gamma_max_m = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(SchemeNameTest, AllNamed) {
+  EXPECT_STREQ(SchemeName(SchemeKind::kNoSharing), "No-Sharing");
+  EXPECT_STREQ(SchemeName(SchemeKind::kTShare), "T-Share");
+  EXPECT_STREQ(SchemeName(SchemeKind::kPGreedyDp), "pGreedyDP");
+  EXPECT_STREQ(SchemeName(SchemeKind::kMtShare), "mT-Share");
+  EXPECT_STREQ(SchemeName(SchemeKind::kMtSharePro), "mT-Share-pro");
+}
+
+class MTShareSystemTest : public ::testing::Test {
+ protected:
+  MTShareSystemTest() {
+    GridCityOptions gopt;
+    gopt.rows = 18;
+    gopt.cols = 18;
+    gopt.seed = 21;
+    net_ = MakeGridCity(gopt);
+    demand_ = std::make_unique<DemandModel>(net_, DemandModelOptions{});
+    oracle_ = std::make_unique<DistanceOracle>(net_);
+
+    ScenarioOptions sopt;
+    sopt.num_requests = 250;
+    sopt.num_historical_trips = 4000;
+    sopt.offline_fraction = 0.2;
+    scenario_ = MakeScenario(net_, *demand_, *oracle_, sopt);
+
+    config_.kappa = 24;
+    config_.kt = 6;
+    system_ = std::make_unique<MTShareSystem>(
+        net_, scenario_.HistoricalOdPairs(), config_);
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<DemandModel> demand_;
+  std::unique_ptr<DistanceOracle> oracle_;
+  Scenario scenario_;
+  SystemConfig config_;
+  std::unique_ptr<MTShareSystem> system_;
+};
+
+TEST_F(MTShareSystemTest, BuildsMobilityStructures) {
+  EXPECT_GT(system_->partitioning().num_partitions(), 4);
+  EXPECT_EQ(system_->transitions().num_groups(),
+            system_->partitioning().num_partitions());
+  EXPECT_GT(system_->SharedIndexMemoryBytes(), 0u);
+}
+
+TEST_F(MTShareSystemTest, AllSchemesRunAndRespectInvariants) {
+  for (SchemeKind scheme :
+       {SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
+        SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
+    Metrics m = system_->RunScenario(scheme, scenario_.requests, 30);
+    EXPECT_LE(m.ServedRequests(), m.TotalRequests()) << SchemeName(scheme);
+    EXPECT_GE(m.ServedRequests(), 0) << SchemeName(scheme);
+    EXPECT_GE(m.MeanWaitingMinutes(), 0.0) << SchemeName(scheme);
+    EXPECT_GE(m.MeanDetourMinutes(), 0.0) << SchemeName(scheme);
+    EXPECT_GE(m.total_driver_income, 0.0) << SchemeName(scheme);
+    // Every completed request met its deadline and kept causal order.
+    for (const RequestRecord& rec : m.records()) {
+      if (!rec.completed) continue;
+      EXPECT_GE(rec.pickup_time, rec.release_time - 1e-6)
+          << SchemeName(scheme) << " req " << rec.id;
+      EXPECT_GE(rec.dropoff_time, rec.pickup_time) << SchemeName(scheme);
+      EXPECT_GE(rec.shared_fare, 0.0);
+      EXPECT_LE(rec.shared_fare, rec.regular_fare + 1e-9)
+          << SchemeName(scheme) << " req " << rec.id;
+    }
+  }
+}
+
+TEST_F(MTShareSystemTest, SharingBeatsNoSharing) {
+  Metrics none = system_->RunScenario(SchemeKind::kNoSharing,
+                                      scenario_.requests, 25);
+  Metrics mt = system_->RunScenario(SchemeKind::kMtShare,
+                                    scenario_.requests, 25);
+  EXPECT_GT(mt.ServedRequests(), none.ServedRequests());
+}
+
+TEST_F(MTShareSystemTest, NoSharingHasZeroDetour) {
+  Metrics m = system_->RunScenario(SchemeKind::kNoSharing,
+                                   scenario_.requests, 30);
+  EXPECT_NEAR(m.MeanDetourMinutes(), 0.0, 1e-9);
+}
+
+TEST_F(MTShareSystemTest, NoSharingServesNoOffline) {
+  Metrics m = system_->RunScenario(SchemeKind::kNoSharing,
+                                   scenario_.requests, 30);
+  EXPECT_EQ(m.ServedOffline(), 0);
+}
+
+TEST_F(MTShareSystemTest, SharingSchemesCanServeOffline) {
+  Metrics m = system_->RunScenario(SchemeKind::kMtSharePro,
+                                   scenario_.requests, 30);
+  EXPECT_GE(m.ServedOffline(), 0);  // encounter-driven, workload-dependent
+  EXPECT_GT(m.ServedRequests(), 0);
+}
+
+TEST_F(MTShareSystemTest, DeterministicRuns) {
+  Metrics a = system_->RunScenario(SchemeKind::kTShare, scenario_.requests,
+                                   20, /*fleet_seed=*/9);
+  Metrics b = system_->RunScenario(SchemeKind::kTShare, scenario_.requests,
+                                   20, /*fleet_seed=*/9);
+  EXPECT_EQ(a.ServedRequests(), b.ServedRequests());
+  EXPECT_DOUBLE_EQ(a.MeanWaitingMinutes(), b.MeanWaitingMinutes());
+}
+
+TEST_F(MTShareSystemTest, MoreTaxisServeMore) {
+  Metrics small = system_->RunScenario(SchemeKind::kMtShare,
+                                       scenario_.requests, 10);
+  Metrics large = system_->RunScenario(SchemeKind::kMtShare,
+                                       scenario_.requests, 50);
+  EXPECT_GE(large.ServedRequests(), small.ServedRequests());
+}
+
+TEST_F(MTShareSystemTest, GridPartitioningVariantRuns) {
+  SystemConfig cfg = config_;
+  cfg.bipartite_partitioning = false;
+  MTShareSystem grid_system(net_, scenario_.HistoricalOdPairs(), cfg);
+  Metrics m = grid_system.RunScenario(SchemeKind::kMtShare,
+                                      scenario_.requests, 25);
+  EXPECT_GT(m.ServedRequests(), 0);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,170 @@
+#include "demand/demand_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+RoadNetwork TestNet() {
+  GridCityOptions opt;
+  opt.rows = 20;
+  opt.cols = 20;
+  opt.seed = 31;
+  return MakeGridCity(opt);
+}
+
+TEST(DiurnalWeightTest, WorkdayPeaksAtMorningPeakHour) {
+  // The paper's peak scenario is 8:00-9:00 of a workday with the most
+  // hourly requests; our profile must agree.
+  double peak = DemandModel::DiurnalWeight(DayType::kWorkday, 8);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LE(DemandModel::DiurnalWeight(DayType::kWorkday, h), peak)
+        << "hour " << h;
+  }
+}
+
+TEST(DiurnalWeightTest, WeekendFlatterThanWorkday) {
+  auto spread = [](DayType d) {
+    double lo = 1e9;
+    double hi = 0;
+    for (int h = 9; h < 21; ++h) {  // core daytime hours
+      double w = DemandModel::DiurnalWeight(d, h);
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+    return hi / lo;
+  };
+  EXPECT_LT(spread(DayType::kWeekend), spread(DayType::kWorkday));
+}
+
+TEST(FlowWeightTest, MorningCommuteAsymmetry) {
+  double res_to_bus =
+      FlowWeight(HotspotType::kResidential, HotspotType::kBusiness, 8);
+  double bus_to_res =
+      FlowWeight(HotspotType::kBusiness, HotspotType::kResidential, 8);
+  EXPECT_GT(res_to_bus, bus_to_res);
+}
+
+TEST(FlowWeightTest, EveningReversesCommute) {
+  double res_to_bus =
+      FlowWeight(HotspotType::kResidential, HotspotType::kBusiness, 18);
+  double bus_to_res =
+      FlowWeight(HotspotType::kBusiness, HotspotType::kResidential, 18);
+  EXPECT_GT(bus_to_res, res_to_bus);
+}
+
+TEST(DemandModelTest, TripsHaveValidEndpoints) {
+  RoadNetwork net = TestNet();
+  DemandModel demand(net, DemandModelOptions{});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Trip t = demand.SampleTrip(8 * 3600.0, rng);
+    ASSERT_GE(t.origin, 0);
+    ASSERT_LT(t.origin, net.num_vertices());
+    ASSERT_GE(t.destination, 0);
+    ASSERT_LT(t.destination, net.num_vertices());
+    EXPECT_NE(t.origin, t.destination);
+  }
+}
+
+TEST(DemandModelTest, MostTripsRespectMinLength) {
+  RoadNetwork net = TestNet();
+  DemandModelOptions opt;
+  opt.min_trip_m = 800.0;
+  DemandModel demand(net, opt);
+  Rng rng(7);
+  int violations = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    Trip t = demand.SampleTrip(12 * 3600.0, rng);
+    if (Distance(net.coord(t.origin), net.coord(t.destination)) <
+        opt.min_trip_m / 2) {
+      ++violations;
+    }
+  }
+  EXPECT_LT(violations, n / 20);  // resampling keeps these rare
+}
+
+TEST(DemandModelTest, GenerateTripsSortedAndInWindow) {
+  RoadNetwork net = TestNet();
+  DemandModel demand(net, DemandModelOptions{});
+  Rng rng(9);
+  auto trips = demand.GenerateTrips(8 * 3600.0, 9 * 3600.0, 150, rng);
+  ASSERT_EQ(trips.size(), 150u);
+  EXPECT_TRUE(std::is_sorted(trips.begin(), trips.end(),
+                             [](const Trip& a, const Trip& b) {
+                               return a.release_time < b.release_time;
+                             }));
+  for (const Trip& t : trips) {
+    EXPECT_GE(t.release_time, 8 * 3600.0);
+    EXPECT_LT(t.release_time, 9 * 3600.0);
+  }
+}
+
+TEST(DemandModelTest, FullDayFollowsDiurnalProfile) {
+  RoadNetwork net = TestNet();
+  DemandModel demand(net, DemandModelOptions{});
+  Rng rng(11);
+  auto trips = demand.GenerateTrips(0.0, 86400.0, 4000, rng);
+  std::vector<int> per_hour(24, 0);
+  for (const Trip& t : trips) {
+    ++per_hour[int(t.release_time / 3600.0) % 24];
+  }
+  // Morning peak must dominate the pre-dawn trough clearly.
+  EXPECT_GT(per_hour[8], 4 * per_hour[3]);
+}
+
+TEST(DemandModelTest, MorningFlowIsDirectionallyBiased) {
+  // During the morning peak, trips into business hotspots should outnumber
+  // trips out of them — the asymmetry the partitioner mines.
+  RoadNetwork net = TestNet();
+  DemandModelOptions opt;
+  opt.uniform_fraction = 0.0;
+  DemandModel demand(net, opt);
+  Rng rng(13);
+  const auto& centers = demand.hotspot_centers();
+  const auto& types = demand.hotspot_types();
+  auto nearest_hotspot = [&](VertexId v) {
+    size_t best = 0;
+    for (size_t h = 1; h < centers.size(); ++h) {
+      if (DistanceSquared(net.coord(v), centers[h]) <
+          DistanceSquared(net.coord(v), centers[best])) {
+        best = h;
+      }
+    }
+    return best;
+  };
+  int into_business = 0;
+  int out_of_business = 0;
+  for (int i = 0; i < 600; ++i) {
+    Trip t = demand.SampleTrip(8 * 3600.0, rng);
+    if (types[nearest_hotspot(t.destination)] == HotspotType::kBusiness) {
+      ++into_business;
+    }
+    if (types[nearest_hotspot(t.origin)] == HotspotType::kBusiness) {
+      ++out_of_business;
+    }
+  }
+  EXPECT_GT(into_business, out_of_business);
+}
+
+TEST(DemandModelTest, DeterministicGivenSeeds) {
+  RoadNetwork net = TestNet();
+  DemandModel demand(net, DemandModelOptions{});
+  Rng rng_a(15);
+  Rng rng_b(15);
+  auto a = demand.GenerateTrips(0, 3600, 50, rng_a);
+  auto b = demand.GenerateTrips(0, 3600, 50, rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].origin, b[i].origin);
+    EXPECT_EQ(a[i].destination, b[i].destination);
+    EXPECT_DOUBLE_EQ(a[i].release_time, b[i].release_time);
+  }
+}
+
+}  // namespace
+}  // namespace mtshare

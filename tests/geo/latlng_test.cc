@@ -1,0 +1,63 @@
+#include "geo/latlng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mtshare {
+namespace {
+
+// Chengdu city center, the paper's evaluation city.
+const LatLng kChengdu{30.657, 104.066};
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(HaversineMeters(kChengdu, kChengdu), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  LatLng a{30.0, 104.0};
+  LatLng b{31.0, 104.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195.0, 300.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  LatLng a{30.0, 104.0};
+  LatLng b{30.5, 104.5};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  Projection proj(kChengdu);
+  Point p = proj.Project(kChengdu);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  Projection proj(kChengdu);
+  LatLng coord{30.70, 104.10};
+  LatLng back = proj.Unproject(proj.Project(coord));
+  EXPECT_NEAR(back.lat, coord.lat, 1e-9);
+  EXPECT_NEAR(back.lng, coord.lng, 1e-9);
+}
+
+TEST(ProjectionTest, DistancesMatchHaversineOverCityExtent) {
+  Projection proj(kChengdu);
+  // ~7 km east-ish, comparable to the paper's 2nd-Ring-Road extent.
+  LatLng a{30.66, 104.03};
+  LatLng b{30.70, 104.10};
+  double planar = Distance(proj.Project(a), proj.Project(b));
+  double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar, sphere, sphere * 0.001);
+}
+
+TEST(PointDistanceTest, EuclideanBasics) {
+  Point a{0.0, 0.0};
+  Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, b), 25.0);
+  EXPECT_TRUE(a == (Point{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,65 @@
+#include "geo/mobility_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mtshare {
+namespace {
+
+MobilityVector MakeVec(double ox, double oy, double dx, double dy) {
+  return MobilityVector{Point{ox, oy}, Point{dx, dy}};
+}
+
+TEST(MobilityVectorTest, DisplacementAndLength) {
+  MobilityVector v = MakeVec(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(v.Displacement().x, 3.0);
+  EXPECT_DOUBLE_EQ(v.Displacement().y, 4.0);
+  EXPECT_DOUBLE_EQ(v.Length(), 5.0);
+}
+
+TEST(DirectionCosineTest, ParallelTripsScoreOne) {
+  MobilityVector a = MakeVec(0, 0, 100, 0);
+  MobilityVector b = MakeVec(500, 500, 900, 500);  // also due east
+  EXPECT_NEAR(DirectionCosine(a, b), 1.0, 1e-12);
+}
+
+TEST(DirectionCosineTest, OppositeTripsScoreMinusOne) {
+  // The Fig. 1 motivation: t2 "travels inversely with r1" and must be
+  // excludable by the direction measure.
+  MobilityVector a = MakeVec(0, 0, 100, 0);
+  MobilityVector b = MakeVec(900, 0, 100, 0);
+  EXPECT_NEAR(DirectionCosine(a, b), -1.0, 1e-12);
+}
+
+TEST(DirectionCosineTest, PerpendicularTripsScoreZero) {
+  MobilityVector a = MakeVec(0, 0, 100, 0);
+  MobilityVector b = MakeVec(0, 0, 0, 100);
+  EXPECT_NEAR(DirectionCosine(a, b), 0.0, 1e-12);
+}
+
+TEST(DirectionCosineTest, FortyFiveDegrees) {
+  // The paper's default lambda = 0.707 corresponds to theta = 45 deg.
+  MobilityVector a = MakeVec(0, 0, 100, 0);
+  MobilityVector b = MakeVec(0, 0, 100, 100);
+  EXPECT_NEAR(DirectionCosine(a, b), std::sqrt(0.5), 1e-12);
+}
+
+TEST(DirectionCosineTest, DegenerateTripImposesNoConstraint) {
+  MobilityVector a = MakeVec(5, 5, 5, 5);  // zero displacement
+  MobilityVector b = MakeVec(0, 0, 100, 0);
+  EXPECT_DOUBLE_EQ(DirectionCosine(a, b), 1.0);
+}
+
+TEST(Raw4dCosineTest, SaturatesForDistantCityCoordinates) {
+  // Documents why the library uses displacement cosine: with raw 4-tuples,
+  // two trips in opposite directions still score ~1 when coordinates are
+  // large relative to trip lengths.
+  MobilityVector east = MakeVec(50000, 50000, 51000, 50000);
+  MobilityVector west = MakeVec(51000, 50000, 50000, 50000);
+  EXPECT_GT(CosineSimilarityRaw4d(east, west), 0.99);
+  EXPECT_LT(DirectionCosine(east, west), -0.99);
+}
+
+}  // namespace
+}  // namespace mtshare

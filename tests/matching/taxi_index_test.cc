@@ -1,0 +1,171 @@
+#include "matching/taxi_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+#include "sim/taxi.h"
+
+namespace mtshare {
+namespace {
+
+class TaxiIndexTest : public ::testing::Test {
+ protected:
+  TaxiIndexTest() {
+    GridCityOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    opt.seed = 17;
+    net_ = MakeGridCity(opt);
+    partitioning_ = GridPartition(net_, 9);
+    index_ = std::make_unique<MtShareTaxiIndex>(net_, partitioning_, 0.707,
+                                                3600.0);
+  }
+
+  TaxiState IdleTaxiAt(TaxiId id, VertexId v) {
+    TaxiState t;
+    t.id = id;
+    t.capacity = 3;
+    t.location = v;
+    return t;
+  }
+
+  bool InPartitionList(PartitionId p, TaxiId id) {
+    return index_->PartitionContains(p, id);
+  }
+
+  RoadNetwork net_;
+  MapPartitioning partitioning_;
+  std::unique_ptr<MtShareTaxiIndex> index_;
+};
+
+TEST_F(TaxiIndexTest, IdleTaxiIndexedInItsPartition) {
+  TaxiState t = IdleTaxiAt(0, 10);
+  index_->ReindexTaxi(t, 0.0);
+  EXPECT_TRUE(InPartitionList(partitioning_.PartitionOf(10), 0));
+  // Idle: not mobility-clustered.
+  EXPECT_EQ(index_->clustering().num_members(), 0);
+}
+
+TEST_F(TaxiIndexTest, ReindexMovesMembership) {
+  TaxiState t = IdleTaxiAt(0, 10);
+  index_->ReindexTaxi(t, 0.0);
+  PartitionId before = partitioning_.PartitionOf(10);
+  // Move the idle taxi far away.
+  VertexId far = net_.num_vertices() - 1;
+  t.location = far;
+  index_->OnTaxiMoved(t, 5.0);
+  PartitionId after = partitioning_.PartitionOf(far);
+  if (before != after) {
+    EXPECT_FALSE(InPartitionList(before, 0));
+  }
+  EXPECT_TRUE(InPartitionList(after, 0));
+}
+
+TEST_F(TaxiIndexTest, BusyTaxiIndexedAlongRouteWithinHorizon) {
+  TaxiState t = IdleTaxiAt(1, 0);
+  // Fake a committed route crossing the map with a dropoff far away.
+  DijkstraSearch search(net_);
+  Path path = search.FindPath(0, net_.num_vertices() - 1);
+  ASSERT_TRUE(path.valid);
+  RideRequest r;
+  r.id = 7;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  r.release_time = 0.0;
+  r.direct_cost = path.cost;
+  r.deadline = 10 * path.cost;
+  t.schedule = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ApplyPlan(&t, net_, t.schedule, path.vertices, {0.0, path.cost}, 0.0, false);
+  index_->ReindexTaxi(t, 0.0);
+
+  // Every partition the route crosses within T_mp lists the taxi.
+  for (size_t i = 0; i < path.vertices.size(); ++i) {
+    if (t.route_times[i] > 3600.0) break;
+    EXPECT_TRUE(InPartitionList(partitioning_.PartitionOf(path.vertices[i]),
+                                1))
+        << "vertex " << path.vertices[i];
+  }
+  // Busy with a dropoff: mobility-clustered.
+  EXPECT_EQ(index_->clustering().num_members(), 1);
+}
+
+TEST_F(TaxiIndexTest, HorizonCapsRouteMemberships) {
+  TaxiState t = IdleTaxiAt(2, 0);
+  DijkstraSearch search(net_);
+  Path path = search.FindPath(0, net_.num_vertices() - 1);
+  ASSERT_TRUE(path.valid);
+  RideRequest r;
+  r.id = 9;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  r.deadline = 10 * path.cost;
+  r.direct_cost = path.cost;
+  t.schedule = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ApplyPlan(&t, net_, t.schedule, path.vertices, {0.0, path.cost}, 0.0, false);
+
+  MtShareTaxiIndex tiny(net_, partitioning_, 0.707, /*tmp=*/1.0);
+  tiny.ReindexTaxi(t, 0.0);
+  // Only partitions reachable within 1 s (i.e., the first) are listed.
+  int32_t memberships = 0;
+  for (PartitionId p = 0; p < partitioning_.num_partitions(); ++p) {
+    memberships += tiny.PartitionContains(p, 2) ? 1 : 0;
+  }
+  EXPECT_EQ(memberships, 1);
+}
+
+TEST_F(TaxiIndexTest, RequestsShapeClustersAndAreRemovable) {
+  RideRequest r;
+  r.id = 3;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  index_->AddRequest(r);
+  EXPECT_EQ(index_->clustering().num_members(), 1);
+  MobilityVector probe{net_.coord(r.origin), net_.coord(r.destination)};
+  ClusterId c = index_->FindCluster(probe);
+  EXPECT_NE(c, kInvalidCluster);
+  // No taxis in that cluster yet.
+  EXPECT_TRUE(index_->ClusterTaxis(c).empty());
+  index_->RemoveRequest(3);
+  EXPECT_EQ(index_->clustering().num_members(), 0);
+}
+
+TEST_F(TaxiIndexTest, ClusterTaxisFiltersOutRequests) {
+  // A busy taxi and a request heading the same way share a cluster; only
+  // the taxi surfaces in ClusterTaxis.
+  TaxiState t = IdleTaxiAt(4, 0);
+  DijkstraSearch search(net_);
+  Path path = search.FindPath(0, net_.num_vertices() - 1);
+  RideRequest served;
+  served.id = 11;
+  served.origin = 0;
+  served.destination = net_.num_vertices() - 1;
+  served.direct_cost = path.cost;
+  served.deadline = 10 * path.cost;
+  t.schedule = Schedule::WithInsertion(Schedule(), served, 0, 0);
+  ApplyPlan(&t, net_, t.schedule, path.vertices, {0.0, path.cost}, 0.0,
+            false);
+  index_->ReindexTaxi(t, 0.0);
+
+  RideRequest r;
+  r.id = 12;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  index_->AddRequest(r);
+
+  MobilityVector probe{net_.coord(0), net_.coord(net_.num_vertices() - 1)};
+  ClusterId c = index_->FindCluster(probe);
+  ASSERT_NE(c, kInvalidCluster);
+  std::vector<TaxiId> taxis = index_->ClusterTaxis(c);
+  ASSERT_EQ(taxis.size(), 1u);
+  EXPECT_EQ(taxis[0], 4);
+}
+
+TEST_F(TaxiIndexTest, MemoryAccounted) {
+  TaxiState t = IdleTaxiAt(0, 10);
+  index_->ReindexTaxi(t, 0.0);
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,147 @@
+#include "mobility/mobility_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace mtshare {
+namespace {
+
+MobilityVector East(double oy = 0) {
+  return MobilityVector{Point{0, oy}, Point{1000, oy}};
+}
+MobilityVector West(double oy = 0) {
+  return MobilityVector{Point{1000, oy}, Point{0, oy}};
+}
+MobilityVector North() { return MobilityVector{Point{0, 0}, Point{0, 1000}}; }
+
+constexpr double kLambda45 = 0.707;
+
+TEST(MobilityClusteringTest, FirstMemberFoundsCluster) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c = mc.Assign(1, East());
+  EXPECT_NE(c, kInvalidCluster);
+  EXPECT_EQ(mc.num_live_clusters(), 1);
+  EXPECT_EQ(mc.ClusterOf(1), c);
+}
+
+TEST(MobilityClusteringTest, SimilarDirectionsShareCluster) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c1 = mc.Assign(1, East(0));
+  ClusterId c2 = mc.Assign(2, East(500));
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(mc.num_live_clusters(), 1);
+  EXPECT_EQ(mc.Members(c1).size(), 2u);
+}
+
+TEST(MobilityClusteringTest, OppositeDirectionsSplit) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c1 = mc.Assign(1, East());
+  ClusterId c2 = mc.Assign(2, West());
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(mc.num_live_clusters(), 2);
+}
+
+TEST(MobilityClusteringTest, PerpendicularSplitsAt45DegreeThreshold) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c1 = mc.Assign(1, East());
+  ClusterId c2 = mc.Assign(2, North());
+  EXPECT_NE(c1, c2);
+}
+
+TEST(MobilityClusteringTest, LooserLambdaMergesMore) {
+  MobilityClustering mc(-1.0);  // everything is compatible
+  ClusterId c1 = mc.Assign(1, East());
+  ClusterId c2 = mc.Assign(2, West());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(MobilityClusteringTest, GeneralVectorIsMemberMean) {
+  MobilityClustering mc(kLambda45);
+  mc.Assign(1, MobilityVector{Point{0, 0}, Point{100, 0}});
+  ClusterId c = mc.Assign(2, MobilityVector{Point{10, 0}, Point{110, 0}});
+  MobilityVector g = mc.GeneralVector(c);
+  EXPECT_DOUBLE_EQ(g.origin.x, 5.0);
+  EXPECT_DOUBLE_EQ(g.destination.x, 105.0);
+}
+
+TEST(MobilityClusteringTest, RemoveUpdatesAggregates) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c = mc.Assign(1, MobilityVector{Point{0, 0}, Point{100, 0}});
+  mc.Assign(2, MobilityVector{Point{50, 0}, Point{150, 0}});
+  mc.Remove(1);
+  MobilityVector g = mc.GeneralVector(c);
+  EXPECT_DOUBLE_EQ(g.origin.x, 50.0);
+  EXPECT_EQ(mc.Members(c).size(), 1u);
+}
+
+TEST(MobilityClusteringTest, EmptiedClusterIsRecycled) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c_east = mc.Assign(1, East());
+  mc.Remove(1);
+  EXPECT_EQ(mc.num_live_clusters(), 0);
+  // A new (different-direction) member reuses the freed slot.
+  ClusterId c_north = mc.Assign(2, North());
+  EXPECT_EQ(c_east, c_north);
+  EXPECT_EQ(mc.num_live_clusters(), 1);
+}
+
+TEST(MobilityClusteringTest, RemoveAbsentMemberIsNoop) {
+  MobilityClustering mc(kLambda45);
+  mc.Remove(42);
+  EXPECT_EQ(mc.num_live_clusters(), 0);
+}
+
+TEST(MobilityClusteringTest, ReassignMovesBetweenClusters) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c1 = mc.Assign(1, East());
+  mc.Assign(9, East(10));  // keep the east cluster alive
+  ClusterId c2 = mc.Assign(1, West());
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(mc.ClusterOf(1), c2);
+  EXPECT_EQ(mc.Members(c1).size(), 1u);
+}
+
+TEST(MobilityClusteringTest, FindBestClusterDoesNotInsert) {
+  MobilityClustering mc(kLambda45);
+  ClusterId c = mc.Assign(1, East());
+  EXPECT_EQ(mc.FindBestCluster(East(200)), c);
+  EXPECT_EQ(mc.FindBestCluster(West()), kInvalidCluster);
+  EXPECT_EQ(mc.num_members(), 1);
+}
+
+TEST(MobilityClusteringTest, FindBestPicksClosestDirection) {
+  // Tight lambda so east and northeast stay separate clusters.
+  MobilityClustering mc(0.9);
+  ClusterId east = mc.Assign(1, East());
+  ClusterId northeast =
+      mc.Assign(2, MobilityVector{Point{0, 0}, Point{1000, 1000}});
+  ASSERT_NE(east, northeast);
+  // Probe at ~5 degrees: east cluster is the better match.
+  MobilityVector probe{Point{0, 0}, Point{1000, 87}};
+  EXPECT_EQ(mc.FindBestCluster(probe), east);
+}
+
+TEST(MobilityClusteringTest, FindCompatibleClustersReturnsAllPassing) {
+  MobilityClustering mc(0.9);
+  mc.Assign(1, East());                                         // 0 deg
+  mc.Assign(2, MobilityVector{Point{0, 0}, Point{1000, 800}});  // ~39 deg
+  mc.Assign(3, West());                                         // 180 deg
+  EXPECT_EQ(mc.num_live_clusters(), 3);
+  // Probe at ~22 deg passes lambda=0.9 against both eastward clusters.
+  MobilityVector probe{Point{0, 0}, Point{1000, 400}};
+  auto compatible = mc.FindCompatibleClusters(probe);
+  EXPECT_EQ(compatible.size(), 2u);
+}
+
+TEST(MobilityClusteringTest, ManyMembersStressRecycling) {
+  MobilityClustering mc(kLambda45);
+  for (int64_t i = 0; i < 200; ++i) {
+    mc.Assign(i, (i % 2 == 0) ? East(double(i)) : West(double(i)));
+  }
+  EXPECT_EQ(mc.num_live_clusters(), 2);
+  for (int64_t i = 0; i < 200; ++i) mc.Remove(i);
+  EXPECT_EQ(mc.num_live_clusters(), 0);
+  EXPECT_EQ(mc.num_members(), 0);
+}
+
+}  // namespace
+}  // namespace mtshare

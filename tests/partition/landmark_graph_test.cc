@@ -1,0 +1,102 @@
+#include "partition/landmark_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+
+namespace mtshare {
+namespace {
+
+class LandmarkGraphTest : public ::testing::Test {
+ protected:
+  LandmarkGraphTest() {
+    GridCityOptions opt;
+    opt.rows = 12;
+    opt.cols = 12;
+    opt.seed = 3;
+    net_ = MakeGridCity(opt);
+    partitioning_ = GridPartition(net_, 9);
+    lg_ = std::make_unique<LandmarkGraph>(net_, partitioning_);
+  }
+
+  RoadNetwork net_;
+  MapPartitioning partitioning_;
+  std::unique_ptr<LandmarkGraph> lg_;
+};
+
+TEST_F(LandmarkGraphTest, SelfCostIsZero) {
+  for (PartitionId p = 0; p < lg_->num_partitions(); ++p) {
+    EXPECT_DOUBLE_EQ(lg_->LandmarkCost(p, p), 0.0);
+  }
+}
+
+TEST_F(LandmarkGraphTest, CostsMatchDijkstraBetweenLandmarks) {
+  DijkstraSearch search(net_);
+  for (PartitionId a = 0; a < lg_->num_partitions(); ++a) {
+    for (PartitionId b = 0; b < lg_->num_partitions(); b += 2) {
+      EXPECT_DOUBLE_EQ(
+          lg_->LandmarkCost(a, b),
+          search.Cost(partitioning_.landmarks[a], partitioning_.landmarks[b]));
+    }
+  }
+}
+
+TEST_F(LandmarkGraphTest, AdjacencyIsSymmetric) {
+  for (PartitionId a = 0; a < lg_->num_partitions(); ++a) {
+    for (PartitionId b : lg_->Neighbors(a)) {
+      EXPECT_TRUE(lg_->Adjacent(b, a)) << a << " ~ " << b;
+    }
+  }
+}
+
+TEST_F(LandmarkGraphTest, NoSelfAdjacency) {
+  for (PartitionId a = 0; a < lg_->num_partitions(); ++a) {
+    EXPECT_FALSE(lg_->Adjacent(a, a));
+  }
+}
+
+TEST_F(LandmarkGraphTest, EveryPartitionHasANeighborOnConnectedCity) {
+  for (PartitionId a = 0; a < lg_->num_partitions(); ++a) {
+    EXPECT_FALSE(lg_->Neighbors(a).empty()) << "partition " << a;
+  }
+}
+
+TEST_F(LandmarkGraphTest, AdjacencyImpliedByCrossingEdges) {
+  // Pick any cross-partition road edge and verify adjacency holds.
+  int checked = 0;
+  for (VertexId v = 0; v < net_.num_vertices() && checked < 50; ++v) {
+    PartitionId pv = partitioning_.PartitionOf(v);
+    for (const Arc& arc : net_.OutArcs(v)) {
+      PartitionId pw = partitioning_.PartitionOf(arc.head);
+      if (pv != pw) {
+        EXPECT_TRUE(lg_->Adjacent(pv, pw));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(LandmarkGraphTest, TriangleInequalityOverLandmarks) {
+  // cost(a,c) <= cost(a,b) + cost(b,c): true since costs are real
+  // shortest-path costs on the road network.
+  int32_t k = lg_->num_partitions();
+  for (PartitionId a = 0; a < k; ++a) {
+    for (PartitionId b = 0; b < k; ++b) {
+      for (PartitionId c = 0; c < k; c += 3) {
+        EXPECT_LE(lg_->LandmarkCost(a, c),
+                  lg_->LandmarkCost(a, b) + lg_->LandmarkCost(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(LandmarkGraphTest, MemoryAccounting) {
+  EXPECT_GE(lg_->MemoryBytes(),
+            size_t(lg_->num_partitions()) * lg_->num_partitions() *
+                sizeof(Seconds));
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,118 @@
+#include "partition/map_partitioning.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+RoadNetwork TestNet() {
+  GridCityOptions opt;
+  opt.rows = 16;
+  opt.cols = 16;
+  opt.seed = 7;
+  return MakeGridCity(opt);
+}
+
+TEST(GridPartitionTest, EveryVertexAssignedExactlyOnce) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  ASSERT_EQ(p.vertex_partition.size(), size_t(net.num_vertices()));
+  std::vector<int> seen(net.num_vertices(), 0);
+  for (PartitionId pid = 0; pid < p.num_partitions(); ++pid) {
+    for (VertexId v : p.partition_vertices[pid]) {
+      EXPECT_EQ(p.vertex_partition[v], pid);
+      ++seen[v];
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(GridPartitionTest, PartitionCountNearTarget) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  EXPECT_GE(p.num_partitions(), 10);
+  EXPECT_LE(p.num_partitions(), 24);
+}
+
+TEST(GridPartitionTest, NoEmptyPartitions) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 25);
+  for (const auto& members : p.partition_vertices) {
+    EXPECT_FALSE(members.empty());
+  }
+}
+
+TEST(GridPartitionTest, SinglePartitionDegenerate) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 1);
+  EXPECT_EQ(p.num_partitions(), 1);
+  EXPECT_EQ(p.partition_vertices[0].size(), size_t(net.num_vertices()));
+}
+
+TEST(FinalizeGeometryTest, LandmarkIsMemberOfItsPartition) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 12);
+  for (PartitionId pid = 0; pid < p.num_partitions(); ++pid) {
+    VertexId lm = p.landmarks[pid];
+    EXPECT_EQ(p.vertex_partition[lm], pid);
+  }
+}
+
+TEST(FinalizeGeometryTest, RadiusCoversAllMembers) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 12);
+  for (PartitionId pid = 0; pid < p.num_partitions(); ++pid) {
+    for (VertexId v : p.partition_vertices[pid]) {
+      EXPECT_LE(Distance(net.coord(v), p.centroids[pid]),
+                p.radius_m[pid] + 1e-9);
+    }
+  }
+}
+
+TEST(FinalizeGeometryTest, LandmarkNearCentroid) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 9);
+  for (PartitionId pid = 0; pid < p.num_partitions(); ++pid) {
+    // A landmark should be closer to the centroid than the partition edge.
+    double d = Distance(net.coord(p.landmarks[pid]), p.centroids[pid]);
+    EXPECT_LE(d, p.radius_m[pid] + 1e-9);
+  }
+}
+
+TEST(IntersectingCircleTest, FindsContainingPartition) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  for (VertexId v = 0; v < net.num_vertices(); v += 37) {
+    auto hits = p.PartitionsIntersectingCircle(net.coord(v), 1.0);
+    PartitionId own = p.PartitionOf(v);
+    EXPECT_NE(std::find(hits.begin(), hits.end(), own), hits.end())
+        << "vertex " << v;
+  }
+}
+
+TEST(IntersectingCircleTest, LargeRadiusCoversEverything) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  auto hits = p.PartitionsIntersectingCircle(net.coord(0), 1e9);
+  EXPECT_EQ(static_cast<int32_t>(hits.size()), p.num_partitions());
+}
+
+TEST(IntersectingCircleTest, SmallRadiusFarAwayFindsNothingNearby) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  Point far{net.bounds().max.x + 1e6, net.bounds().max.y + 1e6};
+  EXPECT_TRUE(p.PartitionsIntersectingCircle(far, 10.0).empty());
+}
+
+TEST(MapPartitioningTest, MemoryAccounting) {
+  RoadNetwork net = TestNet();
+  MapPartitioning p = GridPartition(net, 16);
+  EXPECT_GT(p.MemoryBytes(), size_t(net.num_vertices()) * sizeof(PartitionId));
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,125 @@
+// Comparative quality of the two partitioning strategies: bipartite
+// partitions must be more *transition-homogeneous* than grid partitions of
+// the same cardinality when the workload has directional structure — the
+// property Table V's end-to-end gains rest on.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "mobility/transition_model.h"
+#include "partition/bipartite_partitioner.h"
+
+namespace mtshare {
+namespace {
+
+// Average within-partition variance of the per-vertex transition vectors,
+// computed against a fixed reference grouping (the grid partitions) so the
+// two strategies are measured in the same feature space.
+double TransitionVariance(const MapPartitioning& partitioning,
+                          const TransitionModel& reference) {
+  double total = 0.0;
+  int64_t count = 0;
+  const int32_t dim = reference.num_groups();
+  for (const auto& members : partitioning.partition_vertices) {
+    if (members.size() < 2) continue;
+    std::vector<double> mean(dim, 0.0);
+    for (VertexId v : members) {
+      const double* row = reference.Row(v);
+      for (int32_t j = 0; j < dim; ++j) mean[j] += row[j];
+    }
+    for (double& m : mean) m /= double(members.size());
+    for (VertexId v : members) {
+      const double* row = reference.Row(v);
+      double d2 = 0.0;
+      for (int32_t j = 0; j < dim; ++j) {
+        d2 += (row[j] - mean[j]) * (row[j] - mean[j]);
+      }
+      total += d2;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / double(count);
+}
+
+TEST(PartitionQualityTest, BipartiteMoreTransitionHomogeneousThanGrid) {
+  GridCityOptions gopt;
+  gopt.rows = 16;
+  gopt.cols = 16;
+  gopt.seed = 29;
+  RoadNetwork net = MakeGridCity(gopt);
+
+  // Polarized history: west half flows to the NE corner, east half to the
+  // SW corner — strong transition structure on top of geography.
+  VertexId ne = 0;
+  VertexId sw = 0;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    if (net.coord(v).x + net.coord(v).y >
+        net.coord(ne).x + net.coord(ne).y) {
+      ne = v;
+    }
+    if (net.coord(v).x + net.coord(v).y <
+        net.coord(sw).x + net.coord(sw).y) {
+      sw = v;
+    }
+  }
+  // Diagonal split so the polarization boundary always crosses the
+  // axis-aligned grid partitions (making them transition-mixed).
+  double mid_diag = (net.bounds().min.x + net.bounds().max.x) / 2 +
+                    (net.bounds().min.y + net.bounds().max.y) / 2;
+  std::vector<OdPair> trips;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    VertexId dest = net.coord(v).x + net.coord(v).y < mid_diag ? ne : sw;
+    if (dest != v) {
+      for (int k = 0; k < 3; ++k) trips.emplace_back(v, dest);
+    }
+  }
+
+  MapPartitioning grid = GridPartition(net, 16);
+  BipartiteOptions bopt;
+  bopt.kappa = grid.num_partitions();
+  bopt.kt = 4;
+  MapPartitioning bipartite = BipartitePartition(net, trips, bopt);
+  ASSERT_GT(bipartite.num_partitions(), 1);
+
+  // Shared feature space: transition vectors against the grid partitions.
+  TransitionModel reference = TransitionModel::Build(
+      net.num_vertices(), grid.num_partitions(), grid.vertex_partition,
+      trips);
+  double var_grid = TransitionVariance(grid, reference);
+  double var_bipartite = TransitionVariance(bipartite, reference);
+  EXPECT_LT(var_bipartite, var_grid) << "bipartite should group vertices "
+                                        "with similar transition patterns";
+}
+
+TEST(PartitionQualityTest, StrategiesEquivalentWithoutStructure) {
+  // With uniform random trips there is no transition signal: bipartite
+  // degenerates to a geographic clustering and must not be much worse than
+  // grid on geometry (mean partition radius within 2x).
+  GridCityOptions gopt;
+  gopt.rows = 14;
+  gopt.cols = 14;
+  gopt.seed = 31;
+  RoadNetwork net = MakeGridCity(gopt);
+  Rng rng(33);
+  std::vector<OdPair> trips;
+  for (int i = 0; i < 3000; ++i) {
+    VertexId a = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId b = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    if (a != b) trips.emplace_back(a, b);
+  }
+  MapPartitioning grid = GridPartition(net, 12);
+  BipartiteOptions bopt;
+  bopt.kappa = grid.num_partitions();
+  bopt.kt = 4;
+  MapPartitioning bipartite = BipartitePartition(net, trips, bopt);
+
+  auto mean_radius = [](const MapPartitioning& p) {
+    double acc = 0.0;
+    for (double r : p.radius_m) acc += r;
+    return acc / p.num_partitions();
+  };
+  EXPECT_LT(mean_radius(bipartite), 2.5 * mean_radius(grid));
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,94 @@
+#include "routing/astar.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+
+namespace mtshare {
+namespace {
+
+TEST(AStarTest, AgreesWithDijkstraOnRandomPairs) {
+  GridCityOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  opt.seed = 5;
+  RoadNetwork net = MakeGridCity(opt);
+  AStarSearch astar(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(81);
+  for (int i = 0; i < 60; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_NEAR(astar.Cost(s, t), dijkstra.Cost(s, t), 1e-9)
+        << s << "->" << t;
+  }
+}
+
+TEST(AStarTest, AgreesOnRingTopology) {
+  RingCityOptions opt;
+  opt.rings = 5;
+  opt.spokes = 12;
+  RoadNetwork net = MakeRingCity(opt);
+  AStarSearch astar(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(83);
+  for (int i = 0; i < 40; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_NEAR(astar.Cost(s, t), dijkstra.Cost(s, t), 1e-9);
+  }
+}
+
+TEST(AStarTest, SettlesFewerVerticesThanDijkstra) {
+  GridCityOptions opt;
+  opt.rows = 24;
+  opt.cols = 24;
+  RoadNetwork net = MakeGridCity(opt);
+  AStarSearch astar(net);
+  DijkstraSearch dijkstra(net);
+  // Corner to corner: the heuristic should prune substantially.
+  VertexId s = 0;
+  VertexId t = net.num_vertices() - 1;
+  astar.Cost(s, t);
+  dijkstra.Cost(s, t);
+  EXPECT_LT(astar.last_settled_count(), dijkstra.last_settled_count());
+}
+
+TEST(AStarTest, PathIsContiguousAndCostConsistent) {
+  GridCityOptions opt;
+  opt.rows = 10;
+  opt.cols = 10;
+  RoadNetwork net = MakeGridCity(opt);
+  AStarSearch astar(net);
+  Path p = astar.FindPath(3, net.num_vertices() - 4);
+  ASSERT_TRUE(p.valid);
+  Seconds acc = 0.0;
+  for (size_t i = 0; i + 1 < p.vertices.size(); ++i) {
+    bool found = false;
+    for (const Arc& arc : net.OutArcs(p.vertices[i])) {
+      if (arc.head == p.vertices[i + 1]) {
+        acc += arc.cost;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "missing arc at hop " << i;
+  }
+  EXPECT_NEAR(acc, p.cost, 1e-9);
+}
+
+TEST(AStarTest, TrivialAndUnreachable) {
+  RoadNetwork::Builder b(1.0);
+  b.AddVertex({0, 0});
+  b.AddVertex({10, 0});
+  b.AddEdge(0, 1, 10);
+  RoadNetwork net = b.Build();
+  AStarSearch astar(net);
+  EXPECT_DOUBLE_EQ(astar.Cost(0, 0), 0.0);
+  EXPECT_EQ(astar.Cost(1, 0), kInfiniteCost);
+}
+
+}  // namespace
+}  // namespace mtshare

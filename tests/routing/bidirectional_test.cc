@@ -1,0 +1,116 @@
+#include "routing/bidirectional.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+
+namespace mtshare {
+namespace {
+
+TEST(BidirectionalTest, AgreesWithDijkstraOnGrid) {
+  GridCityOptions opt;
+  opt.rows = 14;
+  opt.cols = 14;
+  opt.seed = 5;
+  RoadNetwork net = MakeGridCity(opt);
+  BidirectionalSearch bidi(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(101);
+  for (int i = 0; i < 80; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_NEAR(bidi.Cost(s, t), dijkstra.Cost(s, t), 1e-9) << s << "->" << t;
+  }
+}
+
+TEST(BidirectionalTest, AgreesOnAsymmetricOneWayNetwork) {
+  // One-way heavy network: forward and backward searches genuinely differ.
+  GridCityOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.one_way_fraction = 0.5;
+  opt.seed = 7;
+  RoadNetwork net = MakeGridCity(opt);
+  BidirectionalSearch bidi(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(103);
+  for (int i = 0; i < 60; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_NEAR(bidi.Cost(s, t), dijkstra.Cost(s, t), 1e-9) << s << "->" << t;
+  }
+}
+
+TEST(BidirectionalTest, PathIsContiguousAndCostConsistent) {
+  GridCityOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  RoadNetwork net = MakeGridCity(opt);
+  BidirectionalSearch bidi(net);
+  Rng rng(107);
+  for (int i = 0; i < 20; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    Path p = bidi.FindPath(s, t);
+    ASSERT_TRUE(p.valid);
+    ASSERT_EQ(p.front(), s);
+    ASSERT_EQ(p.back(), t);
+    Seconds acc = 0.0;
+    for (size_t k = 0; k + 1 < p.vertices.size(); ++k) {
+      Seconds best = kInfiniteCost;
+      for (const Arc& arc : net.OutArcs(p.vertices[k])) {
+        if (arc.head == p.vertices[k + 1]) best = std::min(best, arc.cost);
+      }
+      ASSERT_LT(best, kInfiniteCost) << "missing arc";
+      acc += best;
+    }
+    EXPECT_NEAR(acc, p.cost, 1e-9);
+  }
+}
+
+TEST(BidirectionalTest, SettlesFewerVerticesThanDijkstra) {
+  GridCityOptions opt;
+  opt.rows = 24;
+  opt.cols = 24;
+  RoadNetwork net = MakeGridCity(opt);
+  BidirectionalSearch bidi(net);
+  DijkstraSearch dijkstra(net);
+  VertexId s = 0;
+  VertexId t = net.num_vertices() - 1;
+  bidi.Cost(s, t);
+  dijkstra.Cost(s, t);
+  EXPECT_LT(bidi.last_settled_count(), dijkstra.last_settled_count());
+}
+
+TEST(BidirectionalTest, TrivialAndUnreachable) {
+  RoadNetwork::Builder b(1.0);
+  b.AddVertex({0, 0});
+  b.AddVertex({10, 0});
+  b.AddEdge(0, 1, 10);
+  RoadNetwork net = b.Build();
+  BidirectionalSearch bidi(net);
+  EXPECT_DOUBLE_EQ(bidi.Cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bidi.Cost(0, 1), 10.0);
+  EXPECT_EQ(bidi.Cost(1, 0), kInfiniteCost);
+  EXPECT_FALSE(bidi.FindPath(1, 0).valid);
+}
+
+TEST(BidirectionalTest, RepeatedQueriesIndependent) {
+  RingCityOptions opt;
+  opt.rings = 5;
+  opt.spokes = 12;
+  RoadNetwork net = MakeRingCity(opt);
+  BidirectionalSearch reused(net);
+  DijkstraSearch reference(net);
+  Rng rng(109);
+  for (int i = 0; i < 40; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_NEAR(reused.Cost(s, t), reference.Cost(s, t), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,98 @@
+#include "routing/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+TEST(DistanceOracleTest, ExactModeMatchesDijkstra) {
+  GridCityOptions gopt;
+  gopt.rows = 9;
+  gopt.cols = 9;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);  // small -> exact
+  EXPECT_TRUE(oracle.exact_mode());
+  DijkstraSearch dijkstra(net);
+  Rng rng(91);
+  for (int i = 0; i < 50; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_DOUBLE_EQ(oracle.Cost(s, t), dijkstra.Cost(s, t));
+  }
+}
+
+TEST(DistanceOracleTest, LruModeMatchesDijkstra) {
+  GridCityOptions gopt;
+  gopt.rows = 9;
+  gopt.cols = 9;
+  RoadNetwork net = MakeGridCity(gopt);
+  OracleOptions oopt;
+  oopt.max_exact_vertices = 10;  // force LRU mode
+  oopt.lru_rows = 8;
+  DistanceOracle oracle(net, oopt);
+  EXPECT_FALSE(oracle.exact_mode());
+  DijkstraSearch dijkstra(net);
+  Rng rng(93);
+  for (int i = 0; i < 80; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_DOUBLE_EQ(oracle.Cost(s, t), dijkstra.Cost(s, t));
+  }
+}
+
+TEST(DistanceOracleTest, RowReuseAvoidsRecomputation) {
+  GridCityOptions gopt;
+  gopt.rows = 8;
+  gopt.cols = 8;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);
+  for (VertexId t = 0; t < net.num_vertices(); ++t) oracle.Cost(0, t);
+  EXPECT_EQ(oracle.row_misses(), 1);
+  EXPECT_EQ(oracle.queries(), net.num_vertices());
+}
+
+TEST(DistanceOracleTest, LruEvictionStillCorrect) {
+  GridCityOptions gopt;
+  gopt.rows = 8;
+  gopt.cols = 8;
+  RoadNetwork net = MakeGridCity(gopt);
+  OracleOptions oopt;
+  oopt.max_exact_vertices = 1;
+  oopt.lru_rows = 2;  // tiny cache: constant eviction
+  DistanceOracle oracle(net, oopt);
+  DijkstraSearch dijkstra(net);
+  // Cycle through 4 sources repeatedly.
+  for (int round = 0; round < 3; ++round) {
+    for (VertexId s = 0; s < 4; ++s) {
+      EXPECT_DOUBLE_EQ(oracle.Cost(s, 20), dijkstra.Cost(s, 20));
+    }
+  }
+  EXPECT_GT(oracle.row_misses(), 4);  // evictions forced recomputation
+}
+
+TEST(DistanceOracleTest, SelfCostIsZeroWithoutRowFetch) {
+  GridCityOptions gopt;
+  gopt.rows = 6;
+  gopt.cols = 6;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);
+  EXPECT_DOUBLE_EQ(oracle.Cost(5, 5), 0.0);
+  EXPECT_EQ(oracle.row_misses(), 0);
+}
+
+TEST(DistanceOracleTest, MemoryGrowsWithRows) {
+  GridCityOptions gopt;
+  gopt.rows = 8;
+  gopt.cols = 8;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);
+  size_t before = oracle.MemoryBytes();
+  oracle.Row(0);
+  EXPECT_GT(oracle.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -1,0 +1,243 @@
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+namespace {
+
+// All tests use a straight-line cost function on vertex ids scaled by 10s
+// per unit unless a real network is needed.
+Seconds LineCost(VertexId a, VertexId b) { return std::abs(a - b) * 10.0; }
+
+RideRequest MakeRequest(RequestId id, VertexId o, VertexId d, Seconds t,
+                        double rho = 1.5, int32_t pax = 1) {
+  RideRequest r;
+  r.id = id;
+  r.origin = o;
+  r.destination = d;
+  r.release_time = t;
+  r.direct_cost = LineCost(o, d);
+  r.deadline = t + rho * r.direct_cost;
+  r.passengers = pax;
+  return r;
+}
+
+TEST(ScheduleTest, WithInsertionPlacesEventsInOrder) {
+  RideRequest r1 = MakeRequest(1, 2, 8, 0.0);
+  Schedule base;
+  Schedule s = Schedule::WithInsertion(base, r1, 0, 0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.at(0).is_pickup);
+  EXPECT_EQ(s.at(0).vertex, 2);
+  EXPECT_FALSE(s.at(1).is_pickup);
+  EXPECT_EQ(s.at(1).vertex, 8);
+
+  RideRequest r2 = MakeRequest(2, 3, 6, 0.0);
+  Schedule s2 = Schedule::WithInsertion(s, r2, 1, 1);
+  ASSERT_EQ(s2.size(), 4u);
+  EXPECT_EQ(s2.at(0).request, 1);
+  EXPECT_EQ(s2.at(1).request, 2);
+  EXPECT_TRUE(s2.at(1).is_pickup);
+  EXPECT_EQ(s2.at(2).request, 2);
+  EXPECT_FALSE(s2.at(2).is_pickup);
+  EXPECT_EQ(s2.at(3).request, 1);
+}
+
+TEST(ScheduleTest, PopFrontAndEraseRequest) {
+  RideRequest r1 = MakeRequest(1, 2, 8, 0.0);
+  RideRequest r2 = MakeRequest(2, 3, 6, 0.0);
+  Schedule s = Schedule::WithInsertion(Schedule(), r1, 0, 0);
+  s = Schedule::WithInsertion(s, r2, 1, 1);
+  s.PopFront();
+  EXPECT_EQ(s.size(), 3u);
+  s.EraseRequest(2);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.at(0).request, 1);
+}
+
+TEST(ScheduleTest, FinalOnboardBalances) {
+  RideRequest r = MakeRequest(1, 2, 8, 0.0, 1.5, 2);
+  Schedule s = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  EXPECT_EQ(s.FinalOnboard(1), 1);
+}
+
+TEST(CheckScheduleTest, FeasibleWalkComputesTimes) {
+  RideRequest r = MakeRequest(1, 2, 8, 0.0);
+  Schedule s = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ScheduleCheck c = CheckSchedule(s, 0, 0.0, 0, 3, LineCost);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.total_travel, 20.0 + 60.0);
+  EXPECT_DOUBLE_EQ(c.completion_time, 80.0);
+  ASSERT_EQ(c.event_arrivals.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.event_arrivals[0], 20.0);
+  EXPECT_DOUBLE_EQ(c.event_arrivals[1], 80.0);
+}
+
+TEST(CheckScheduleTest, DeadlineViolationInfeasible) {
+  RideRequest r = MakeRequest(1, 2, 8, 0.0, 1.1);  // tight deadline: 66s
+  Schedule s = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  // Start far away: pickup at t=100 > pickup deadline.
+  ScheduleCheck c = CheckSchedule(s, 12, 0.0, 0, 3, LineCost);
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(CheckScheduleTest, CapacityViolationInfeasible) {
+  RideRequest r = MakeRequest(1, 2, 8, 0.0, 2.0, 3);
+  Schedule s = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ScheduleCheck c = CheckSchedule(s, 2, 0.0, 1, 3, LineCost);  // 1+3 > 3
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(CheckScheduleTest, StartOverCapacityInfeasible) {
+  Schedule s;
+  ScheduleCheck c = CheckSchedule(s, 0, 0.0, 4, 3, LineCost);
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(CheckScheduleTest, EmptyScheduleTriviallyFeasible) {
+  Schedule s;
+  ScheduleCheck c = CheckSchedule(s, 5, 7.0, 0, 3, LineCost);
+  EXPECT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.total_travel, 0.0);
+  EXPECT_DOUBLE_EQ(c.completion_time, 7.0);
+}
+
+TEST(FindBestInsertionTest, EmptyScheduleTakesDirectRoute) {
+  RideRequest r = MakeRequest(1, 2, 8, 0.0);
+  InsertionResult ins =
+      FindBestInsertion(Schedule(), r, 0, 0.0, 0, 3, LineCost);
+  ASSERT_TRUE(ins.found);
+  EXPECT_EQ(ins.pickup_pos, 0u);
+  EXPECT_EQ(ins.dropoff_pos, 0u);
+  EXPECT_DOUBLE_EQ(ins.detour, 80.0);
+}
+
+TEST(FindBestInsertionTest, PrefersCheapestPosition) {
+  // Base: serve request A from 0 to 10. New request B from 4 to 6 lies on
+  // the way; inserting inside costs nothing extra.
+  RideRequest a = MakeRequest(1, 0, 10, 0.0, 2.0);
+  Schedule base = Schedule::WithInsertion(Schedule(), a, 0, 0);
+  // Generous rho: B's pickup deadline must cover the 40 s drive to vertex 4.
+  RideRequest b = MakeRequest(2, 4, 6, 0.0, 4.0);
+  InsertionResult ins = FindBestInsertion(base, b, 0, 0.0, 0, 3, LineCost);
+  ASSERT_TRUE(ins.found);
+  EXPECT_NEAR(ins.detour, 0.0, 1e-9);
+  EXPECT_EQ(ins.pickup_pos, 1u);  // after A's pickup
+  EXPECT_EQ(ins.dropoff_pos, 1u);
+}
+
+TEST(FindBestInsertionTest, RespectsCapacityAcrossSegments) {
+  RideRequest a = MakeRequest(1, 0, 10, 0.0, 2.0, 2);
+  Schedule base = Schedule::WithInsertion(Schedule(), a, 0, 0);
+  // Capacity 2: B (1 pax) cannot ride between A's pickup and dropoff.
+  RideRequest b = MakeRequest(2, 4, 6, 0.0, 10.0);
+  InsertionResult ins = FindBestInsertion(base, b, 0, 0.0, 0, 2, LineCost);
+  ASSERT_TRUE(ins.found);
+  // Only feasible placement: after A is dropped (pickup_pos == 2).
+  EXPECT_EQ(ins.pickup_pos, 2u);
+}
+
+TEST(FindBestInsertionTest, InfeasibleWhenDeadlinesTight) {
+  RideRequest a = MakeRequest(1, 0, 10, 0.0, 1.05);
+  Schedule base = Schedule::WithInsertion(Schedule(), a, 0, 0);
+  // B would detour A beyond its 5% slack.
+  RideRequest b = MakeRequest(2, 20, 30, 0.0, 1.05);
+  InsertionResult ins = FindBestInsertion(base, b, 0, 0.0, 0, 3, LineCost);
+  EXPECT_FALSE(ins.found);
+}
+
+TEST(FindBestInsertionTest, InfeasibleBaseScheduleFails) {
+  RideRequest a = MakeRequest(1, 2, 8, 0.0, 1.1);
+  Schedule base = Schedule::WithInsertion(Schedule(), a, 0, 0);
+  RideRequest b = MakeRequest(2, 3, 7, 0.0, 2.0);
+  // Taxi too far to honor A at all: base walk infeasible.
+  InsertionResult ins = FindBestInsertion(base, b, 40, 0.0, 0, 3, LineCost);
+  EXPECT_FALSE(ins.found);
+}
+
+// ------- DP variant: equivalence with the exhaustive search -------
+
+class InsertionDpEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertionDpEquivalence, MatchesNaiveOnRandomInstances) {
+  Rng rng(1000 + GetParam());
+  GridCityOptions gopt;
+  gopt.rows = 10;
+  gopt.cols = 10;
+  gopt.seed = 5;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);
+  LegCostFn cost = [&](VertexId a, VertexId b) { return oracle.Cost(a, b); };
+
+  auto random_vertex = [&]() {
+    return VertexId(rng.NextInt(0, net.num_vertices() - 1));
+  };
+  auto random_request = [&](RequestId id, Seconds now) {
+    RideRequest r;
+    r.id = id;
+    r.release_time = now;
+    r.origin = random_vertex();
+    do {
+      r.destination = random_vertex();
+    } while (r.destination == r.origin);
+    r.direct_cost = oracle.Cost(r.origin, r.destination);
+    r.deadline = now + rng.NextUniform(1.2, 2.2) * r.direct_cost;
+    r.passengers = int32_t(rng.NextInt(1, 2));
+    return r;
+  };
+
+  // Build a base schedule by inserting a few requests greedily.
+  VertexId taxi_loc = random_vertex();
+  int32_t capacity = 4;
+  Schedule base;
+  for (int k = 0; k < 3; ++k) {
+    RideRequest r = random_request(k, 0.0);
+    InsertionResult ins =
+        FindBestInsertion(base, r, taxi_loc, 0.0, 0, capacity, cost);
+    if (ins.found) base = ins.schedule;
+  }
+
+  for (int trial = 0; trial < 10; ++trial) {
+    RideRequest r = random_request(100 + trial, 0.0);
+    InsertionResult naive =
+        FindBestInsertion(base, r, taxi_loc, 0.0, 0, capacity, cost);
+    InsertionResult dp =
+        FindBestInsertionDp(base, r, taxi_loc, 0.0, 0, capacity, cost);
+    ASSERT_EQ(naive.found, dp.found) << "trial " << trial;
+    if (naive.found) {
+      EXPECT_NEAR(naive.detour, dp.detour, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(dp.check.feasible);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, InsertionDpEquivalence,
+                         ::testing::Range(0, 8));
+
+TEST(FindBestInsertionDpTest, OnboardPassengersRestrictCapacity) {
+  RideRequest b = MakeRequest(2, 4, 6, 0.0, 10.0, 2);
+  // Taxi already carries 2 of 3 seats: a 2-passenger party cannot fit.
+  InsertionResult dp =
+      FindBestInsertionDp(Schedule(), b, 0, 0.0, 2, 3, LineCost);
+  EXPECT_FALSE(dp.found);
+}
+
+TEST(FindBestInsertionDpTest, AppendAtEndWhenMidRouteFull) {
+  RideRequest a = MakeRequest(1, 0, 10, 0.0, 3.0, 3);
+  Schedule base = Schedule::WithInsertion(Schedule(), a, 0, 0);
+  // rho 10: pickup deadline covers waiting for A's dropoff at t=100.
+  RideRequest b = MakeRequest(2, 12, 16, 0.0, 10.0, 2);
+  InsertionResult dp = FindBestInsertionDp(base, b, 0, 0.0, 0, 3, LineCost);
+  ASSERT_TRUE(dp.found);
+  EXPECT_EQ(dp.pickup_pos, 2u);
+  EXPECT_EQ(dp.dropoff_pos, 2u);
+}
+
+}  // namespace
+}  // namespace mtshare

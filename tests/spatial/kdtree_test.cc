@@ -1,0 +1,81 @@
+#include "spatial/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+
+namespace mtshare {
+namespace {
+
+std::vector<Point> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)});
+  }
+  return pts;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_EQ(tree.Nearest({0, 0}), -1);
+  EXPECT_TRUE(tree.RadiusSearch({0, 0}, 100).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({Point{10, 20}});
+  EXPECT_EQ(tree.Nearest({0, 0}), 0);
+  EXPECT_EQ(tree.RadiusSearch({10, 20}, 1).size(), 1u);
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  auto pts = RandomPoints(400, 21);
+  KdTree tree(pts);
+  Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    Point q{rng.NextUniform(-500, 5500), rng.NextUniform(-500, 5500)};
+    int32_t got = tree.Nearest(q);
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point& p : pts) best = std::min(best, DistanceSquared(p, q));
+    EXPECT_DOUBLE_EQ(DistanceSquared(pts[got], q), best);
+  }
+}
+
+TEST(KdTreeTest, RadiusMatchesBruteForce) {
+  auto pts = RandomPoints(300, 31);
+  KdTree tree(pts);
+  Rng rng(32);
+  for (int trial = 0; trial < 50; ++trial) {
+    Point q{rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)};
+    double r = rng.NextUniform(100, 1500);
+    auto got = tree.RadiusSearch(q, r);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> expect;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Distance(pts[i], q) <= r) expect.push_back(static_cast<int32_t>(i));
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllFound) {
+  std::vector<Point> pts = {{5, 5}, {5, 5}, {5, 5}, {100, 100}};
+  KdTree tree(pts);
+  auto got = tree.RadiusSearch({5, 5}, 0.5);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(KdTreeTest, CollinearPointsDegenerateSplits) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back({double(i), 0.0});
+  KdTree tree(pts);
+  EXPECT_EQ(tree.Nearest({31.4, 10.0}), 31);
+  EXPECT_EQ(tree.RadiusSearch({10, 0}, 2.5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace mtshare
