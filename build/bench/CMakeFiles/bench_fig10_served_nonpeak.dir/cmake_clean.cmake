@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_served_nonpeak.dir/bench_fig10_served_nonpeak.cc.o"
+  "CMakeFiles/bench_fig10_served_nonpeak.dir/bench_fig10_served_nonpeak.cc.o.d"
+  "bench_fig10_served_nonpeak"
+  "bench_fig10_served_nonpeak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_served_nonpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

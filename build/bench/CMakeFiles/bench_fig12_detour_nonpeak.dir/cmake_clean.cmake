@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_detour_nonpeak.dir/bench_fig12_detour_nonpeak.cc.o"
+  "CMakeFiles/bench_fig12_detour_nonpeak.dir/bench_fig12_detour_nonpeak.cc.o.d"
+  "bench_fig12_detour_nonpeak"
+  "bench_fig12_detour_nonpeak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_detour_nonpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

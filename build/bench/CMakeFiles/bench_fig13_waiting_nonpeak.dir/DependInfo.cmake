@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_waiting_nonpeak.cc" "bench/CMakeFiles/bench_fig13_waiting_nonpeak.dir/bench_fig13_waiting_nonpeak.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_waiting_nonpeak.dir/bench_fig13_waiting_nonpeak.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mtshare_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_waiting_nonpeak.dir/bench_fig13_waiting_nonpeak.cc.o"
+  "CMakeFiles/bench_fig13_waiting_nonpeak.dir/bench_fig13_waiting_nonpeak.cc.o.d"
+  "bench_fig13_waiting_nonpeak"
+  "bench_fig13_waiting_nonpeak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_waiting_nonpeak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_gamma.dir/bench_fig15_gamma.cc.o"
+  "CMakeFiles/bench_fig15_gamma.dir/bench_fig15_gamma.cc.o.d"
+  "bench_fig15_gamma"
+  "bench_fig15_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_19_rho.dir/bench_fig17_19_rho.cc.o"
+  "CMakeFiles/bench_fig17_19_rho.dir/bench_fig17_19_rho.cc.o.d"
+  "bench_fig17_19_rho"
+  "bench_fig17_19_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_19_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_candidates.dir/bench_tab3_candidates.cc.o"
+  "CMakeFiles/bench_tab3_candidates.dir/bench_tab3_candidates.cc.o.d"
+  "bench_tab3_candidates"
+  "bench_tab3_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

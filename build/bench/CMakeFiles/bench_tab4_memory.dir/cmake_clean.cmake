@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_memory.dir/bench_tab4_memory.cc.o"
+  "CMakeFiles/bench_tab4_memory.dir/bench_tab4_memory.cc.o.d"
+  "bench_tab4_memory"
+  "bench_tab4_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_partition_strategies.dir/bench_tab5_partition_strategies.cc.o"
+  "CMakeFiles/bench_tab5_partition_strategies.dir/bench_tab5_partition_strategies.cc.o.d"
+  "bench_tab5_partition_strategies"
+  "bench_tab5_partition_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_partition_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mtshare_bench_common.dir/bench_common.cc.o.d"
+  "libmtshare_bench_common.a"
+  "libmtshare_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_street_hailing.dir/offline_street_hailing.cpp.o"
+  "CMakeFiles/offline_street_hailing.dir/offline_street_hailing.cpp.o.d"
+  "offline_street_hailing"
+  "offline_street_hailing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_street_hailing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_hour_comparison.dir/peak_hour_comparison.cpp.o"
+  "CMakeFiles/peak_hour_comparison.dir/peak_hour_comparison.cpp.o.d"
+  "peak_hour_comparison"
+  "peak_hour_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_hour_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_clustering.dir/clustering/kmeans.cc.o"
+  "CMakeFiles/mtshare_clustering.dir/clustering/kmeans.cc.o.d"
+  "libmtshare_clustering.a"
+  "libmtshare_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

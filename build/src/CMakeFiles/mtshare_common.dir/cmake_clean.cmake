@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_common.dir/common/logging.cc.o"
+  "CMakeFiles/mtshare_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mtshare_common.dir/common/random.cc.o"
+  "CMakeFiles/mtshare_common.dir/common/random.cc.o.d"
+  "CMakeFiles/mtshare_common.dir/common/stats.cc.o"
+  "CMakeFiles/mtshare_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/mtshare_common.dir/common/status.cc.o"
+  "CMakeFiles/mtshare_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mtshare_common.dir/common/string_util.cc.o"
+  "CMakeFiles/mtshare_common.dir/common/string_util.cc.o.d"
+  "libmtshare_common.a"
+  "libmtshare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

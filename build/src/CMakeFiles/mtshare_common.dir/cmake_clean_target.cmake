@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtshare_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_core.dir/core/mtshare_system.cc.o"
+  "CMakeFiles/mtshare_core.dir/core/mtshare_system.cc.o.d"
+  "CMakeFiles/mtshare_core.dir/core/system_config.cc.o"
+  "CMakeFiles/mtshare_core.dir/core/system_config.cc.o.d"
+  "libmtshare_core.a"
+  "libmtshare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_demand.dir/demand/demand_model.cc.o"
+  "CMakeFiles/mtshare_demand.dir/demand/demand_model.cc.o.d"
+  "CMakeFiles/mtshare_demand.dir/demand/request_generator.cc.o"
+  "CMakeFiles/mtshare_demand.dir/demand/request_generator.cc.o.d"
+  "CMakeFiles/mtshare_demand.dir/demand/trip_io.cc.o"
+  "CMakeFiles/mtshare_demand.dir/demand/trip_io.cc.o.d"
+  "libmtshare_demand.a"
+  "libmtshare_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

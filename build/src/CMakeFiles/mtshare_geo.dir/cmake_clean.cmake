@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_geo.dir/geo/latlng.cc.o"
+  "CMakeFiles/mtshare_geo.dir/geo/latlng.cc.o.d"
+  "CMakeFiles/mtshare_geo.dir/geo/mobility_vector.cc.o"
+  "CMakeFiles/mtshare_geo.dir/geo/mobility_vector.cc.o.d"
+  "libmtshare_geo.a"
+  "libmtshare_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_graph.dir/graph/graph_generators.cc.o"
+  "CMakeFiles/mtshare_graph.dir/graph/graph_generators.cc.o.d"
+  "CMakeFiles/mtshare_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/mtshare_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/mtshare_graph.dir/graph/road_network.cc.o"
+  "CMakeFiles/mtshare_graph.dir/graph/road_network.cc.o.d"
+  "libmtshare_graph.a"
+  "libmtshare_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

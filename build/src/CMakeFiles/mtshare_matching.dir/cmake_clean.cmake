@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_matching.dir/matching/dispatcher.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/dispatcher.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/mt_share.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/mt_share.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/no_sharing.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/no_sharing.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/pgreedy_dp.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/pgreedy_dp.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/t_share.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/t_share.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/taxi_index.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/taxi_index.cc.o.d"
+  "CMakeFiles/mtshare_matching.dir/matching/taxi_state.cc.o"
+  "CMakeFiles/mtshare_matching.dir/matching/taxi_state.cc.o.d"
+  "libmtshare_matching.a"
+  "libmtshare_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

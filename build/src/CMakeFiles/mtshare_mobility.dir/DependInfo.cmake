@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/mobility_clustering.cc" "src/CMakeFiles/mtshare_mobility.dir/mobility/mobility_clustering.cc.o" "gcc" "src/CMakeFiles/mtshare_mobility.dir/mobility/mobility_clustering.cc.o.d"
+  "/root/repo/src/mobility/transition_model.cc" "src/CMakeFiles/mtshare_mobility.dir/mobility/transition_model.cc.o" "gcc" "src/CMakeFiles/mtshare_mobility.dir/mobility/transition_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtshare_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_mobility.dir/mobility/mobility_clustering.cc.o"
+  "CMakeFiles/mtshare_mobility.dir/mobility/mobility_clustering.cc.o.d"
+  "CMakeFiles/mtshare_mobility.dir/mobility/transition_model.cc.o"
+  "CMakeFiles/mtshare_mobility.dir/mobility/transition_model.cc.o.d"
+  "libmtshare_mobility.a"
+  "libmtshare_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

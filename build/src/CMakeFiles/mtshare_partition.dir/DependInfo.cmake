@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/bipartite_partitioner.cc" "src/CMakeFiles/mtshare_partition.dir/partition/bipartite_partitioner.cc.o" "gcc" "src/CMakeFiles/mtshare_partition.dir/partition/bipartite_partitioner.cc.o.d"
+  "/root/repo/src/partition/grid_partitioner.cc" "src/CMakeFiles/mtshare_partition.dir/partition/grid_partitioner.cc.o" "gcc" "src/CMakeFiles/mtshare_partition.dir/partition/grid_partitioner.cc.o.d"
+  "/root/repo/src/partition/landmark_graph.cc" "src/CMakeFiles/mtshare_partition.dir/partition/landmark_graph.cc.o" "gcc" "src/CMakeFiles/mtshare_partition.dir/partition/landmark_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtshare_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

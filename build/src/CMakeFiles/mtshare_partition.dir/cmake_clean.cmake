@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_partition.dir/partition/bipartite_partitioner.cc.o"
+  "CMakeFiles/mtshare_partition.dir/partition/bipartite_partitioner.cc.o.d"
+  "CMakeFiles/mtshare_partition.dir/partition/grid_partitioner.cc.o"
+  "CMakeFiles/mtshare_partition.dir/partition/grid_partitioner.cc.o.d"
+  "CMakeFiles/mtshare_partition.dir/partition/landmark_graph.cc.o"
+  "CMakeFiles/mtshare_partition.dir/partition/landmark_graph.cc.o.d"
+  "libmtshare_partition.a"
+  "libmtshare_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_payment.dir/payment/payment_model.cc.o"
+  "CMakeFiles/mtshare_payment.dir/payment/payment_model.cc.o.d"
+  "libmtshare_payment.a"
+  "libmtshare_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/astar.cc" "src/CMakeFiles/mtshare_routing.dir/routing/astar.cc.o" "gcc" "src/CMakeFiles/mtshare_routing.dir/routing/astar.cc.o.d"
+  "/root/repo/src/routing/bidirectional.cc" "src/CMakeFiles/mtshare_routing.dir/routing/bidirectional.cc.o" "gcc" "src/CMakeFiles/mtshare_routing.dir/routing/bidirectional.cc.o.d"
+  "/root/repo/src/routing/dijkstra.cc" "src/CMakeFiles/mtshare_routing.dir/routing/dijkstra.cc.o" "gcc" "src/CMakeFiles/mtshare_routing.dir/routing/dijkstra.cc.o.d"
+  "/root/repo/src/routing/distance_oracle.cc" "src/CMakeFiles/mtshare_routing.dir/routing/distance_oracle.cc.o" "gcc" "src/CMakeFiles/mtshare_routing.dir/routing/distance_oracle.cc.o.d"
+  "/root/repo/src/routing/path.cc" "src/CMakeFiles/mtshare_routing.dir/routing/path.cc.o" "gcc" "src/CMakeFiles/mtshare_routing.dir/routing/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtshare_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

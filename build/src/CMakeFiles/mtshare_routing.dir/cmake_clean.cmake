@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_routing.dir/routing/astar.cc.o"
+  "CMakeFiles/mtshare_routing.dir/routing/astar.cc.o.d"
+  "CMakeFiles/mtshare_routing.dir/routing/bidirectional.cc.o"
+  "CMakeFiles/mtshare_routing.dir/routing/bidirectional.cc.o.d"
+  "CMakeFiles/mtshare_routing.dir/routing/dijkstra.cc.o"
+  "CMakeFiles/mtshare_routing.dir/routing/dijkstra.cc.o.d"
+  "CMakeFiles/mtshare_routing.dir/routing/distance_oracle.cc.o"
+  "CMakeFiles/mtshare_routing.dir/routing/distance_oracle.cc.o.d"
+  "CMakeFiles/mtshare_routing.dir/routing/path.cc.o"
+  "CMakeFiles/mtshare_routing.dir/routing/path.cc.o.d"
+  "libmtshare_routing.a"
+  "libmtshare_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

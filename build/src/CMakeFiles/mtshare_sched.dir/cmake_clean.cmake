@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_sched.dir/sched/partition_filter.cc.o"
+  "CMakeFiles/mtshare_sched.dir/sched/partition_filter.cc.o.d"
+  "CMakeFiles/mtshare_sched.dir/sched/route_planner.cc.o"
+  "CMakeFiles/mtshare_sched.dir/sched/route_planner.cc.o.d"
+  "CMakeFiles/mtshare_sched.dir/sched/schedule.cc.o"
+  "CMakeFiles/mtshare_sched.dir/sched/schedule.cc.o.d"
+  "libmtshare_sched.a"
+  "libmtshare_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

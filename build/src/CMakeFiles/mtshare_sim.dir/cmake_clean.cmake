@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/mtshare_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/mtshare_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/mtshare_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/mtshare_sim.dir/sim/taxi.cc.o"
+  "CMakeFiles/mtshare_sim.dir/sim/taxi.cc.o.d"
+  "libmtshare_sim.a"
+  "libmtshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

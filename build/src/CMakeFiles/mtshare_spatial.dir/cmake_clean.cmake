@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_spatial.dir/spatial/grid_index.cc.o"
+  "CMakeFiles/mtshare_spatial.dir/spatial/grid_index.cc.o.d"
+  "CMakeFiles/mtshare_spatial.dir/spatial/kdtree.cc.o"
+  "CMakeFiles/mtshare_spatial.dir/spatial/kdtree.cc.o.d"
+  "libmtshare_spatial.a"
+  "libmtshare_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_traffic.dir/traffic/congestion.cc.o"
+  "CMakeFiles/mtshare_traffic.dir/traffic/congestion.cc.o.d"
+  "libmtshare_traffic.a"
+  "libmtshare_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

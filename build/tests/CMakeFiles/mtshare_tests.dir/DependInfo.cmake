@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clustering/kmeans_test.cc" "tests/CMakeFiles/mtshare_tests.dir/clustering/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/clustering/kmeans_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/mtshare_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/mtshare_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/mtshare_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/mtshare_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/timer_test.cc" "tests/CMakeFiles/mtshare_tests.dir/common/timer_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/common/timer_test.cc.o.d"
+  "/root/repo/tests/core/mtshare_system_test.cc" "tests/CMakeFiles/mtshare_tests.dir/core/mtshare_system_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/core/mtshare_system_test.cc.o.d"
+  "/root/repo/tests/demand/demand_model_test.cc" "tests/CMakeFiles/mtshare_tests.dir/demand/demand_model_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/demand/demand_model_test.cc.o.d"
+  "/root/repo/tests/demand/request_generator_test.cc" "tests/CMakeFiles/mtshare_tests.dir/demand/request_generator_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/demand/request_generator_test.cc.o.d"
+  "/root/repo/tests/demand/trip_io_test.cc" "tests/CMakeFiles/mtshare_tests.dir/demand/trip_io_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/demand/trip_io_test.cc.o.d"
+  "/root/repo/tests/geo/latlng_test.cc" "tests/CMakeFiles/mtshare_tests.dir/geo/latlng_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/geo/latlng_test.cc.o.d"
+  "/root/repo/tests/geo/mobility_vector_test.cc" "tests/CMakeFiles/mtshare_tests.dir/geo/mobility_vector_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/geo/mobility_vector_test.cc.o.d"
+  "/root/repo/tests/graph/graph_generators_test.cc" "tests/CMakeFiles/mtshare_tests.dir/graph/graph_generators_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/graph/graph_generators_test.cc.o.d"
+  "/root/repo/tests/graph/graph_io_test.cc" "tests/CMakeFiles/mtshare_tests.dir/graph/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/graph/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph/road_network_test.cc" "tests/CMakeFiles/mtshare_tests.dir/graph/road_network_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/graph/road_network_test.cc.o.d"
+  "/root/repo/tests/matching/dispatchers_test.cc" "tests/CMakeFiles/mtshare_tests.dir/matching/dispatchers_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/matching/dispatchers_test.cc.o.d"
+  "/root/repo/tests/matching/idle_cruising_test.cc" "tests/CMakeFiles/mtshare_tests.dir/matching/idle_cruising_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/matching/idle_cruising_test.cc.o.d"
+  "/root/repo/tests/matching/taxi_index_test.cc" "tests/CMakeFiles/mtshare_tests.dir/matching/taxi_index_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/matching/taxi_index_test.cc.o.d"
+  "/root/repo/tests/mobility/mobility_clustering_test.cc" "tests/CMakeFiles/mtshare_tests.dir/mobility/mobility_clustering_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/mobility/mobility_clustering_test.cc.o.d"
+  "/root/repo/tests/mobility/transition_model_test.cc" "tests/CMakeFiles/mtshare_tests.dir/mobility/transition_model_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/mobility/transition_model_test.cc.o.d"
+  "/root/repo/tests/partition/bipartite_partitioner_test.cc" "tests/CMakeFiles/mtshare_tests.dir/partition/bipartite_partitioner_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/partition/bipartite_partitioner_test.cc.o.d"
+  "/root/repo/tests/partition/landmark_graph_test.cc" "tests/CMakeFiles/mtshare_tests.dir/partition/landmark_graph_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/partition/landmark_graph_test.cc.o.d"
+  "/root/repo/tests/partition/map_partitioning_test.cc" "tests/CMakeFiles/mtshare_tests.dir/partition/map_partitioning_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/partition/map_partitioning_test.cc.o.d"
+  "/root/repo/tests/partition/partition_quality_test.cc" "tests/CMakeFiles/mtshare_tests.dir/partition/partition_quality_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/partition/partition_quality_test.cc.o.d"
+  "/root/repo/tests/payment/payment_model_test.cc" "tests/CMakeFiles/mtshare_tests.dir/payment/payment_model_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/payment/payment_model_test.cc.o.d"
+  "/root/repo/tests/routing/astar_test.cc" "tests/CMakeFiles/mtshare_tests.dir/routing/astar_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/routing/astar_test.cc.o.d"
+  "/root/repo/tests/routing/bidirectional_test.cc" "tests/CMakeFiles/mtshare_tests.dir/routing/bidirectional_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/routing/bidirectional_test.cc.o.d"
+  "/root/repo/tests/routing/dijkstra_test.cc" "tests/CMakeFiles/mtshare_tests.dir/routing/dijkstra_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/routing/dijkstra_test.cc.o.d"
+  "/root/repo/tests/routing/distance_oracle_test.cc" "tests/CMakeFiles/mtshare_tests.dir/routing/distance_oracle_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/routing/distance_oracle_test.cc.o.d"
+  "/root/repo/tests/sched/partition_filter_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sched/partition_filter_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sched/partition_filter_test.cc.o.d"
+  "/root/repo/tests/sched/route_planner_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sched/route_planner_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sched/route_planner_test.cc.o.d"
+  "/root/repo/tests/sched/schedule_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sched/schedule_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sched/schedule_test.cc.o.d"
+  "/root/repo/tests/sim/engine_edge_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_edge_test.cc.o.d"
+  "/root/repo/tests/sim/engine_property_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_property_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_property_test.cc.o.d"
+  "/root/repo/tests/sim/engine_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sim/engine_test.cc.o.d"
+  "/root/repo/tests/sim/metrics_test.cc" "tests/CMakeFiles/mtshare_tests.dir/sim/metrics_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/sim/metrics_test.cc.o.d"
+  "/root/repo/tests/spatial/grid_index_test.cc" "tests/CMakeFiles/mtshare_tests.dir/spatial/grid_index_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/spatial/grid_index_test.cc.o.d"
+  "/root/repo/tests/spatial/kdtree_test.cc" "tests/CMakeFiles/mtshare_tests.dir/spatial/kdtree_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/spatial/kdtree_test.cc.o.d"
+  "/root/repo/tests/traffic/congestion_test.cc" "tests/CMakeFiles/mtshare_tests.dir/traffic/congestion_test.cc.o" "gcc" "tests/CMakeFiles/mtshare_tests.dir/traffic/congestion_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtshare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_payment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mtshare_tests.
+# This may be replaced when dependencies are built.

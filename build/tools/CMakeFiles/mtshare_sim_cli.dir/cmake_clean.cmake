@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtshare_sim_cli.dir/mtshare_sim.cc.o"
+  "CMakeFiles/mtshare_sim_cli.dir/mtshare_sim.cc.o.d"
+  "mtshare_sim"
+  "mtshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtshare_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
