@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace mtshare::bench {
 
@@ -67,8 +69,46 @@ BenchEnv::BenchEnv(Window window, const SystemConfig& config,
 }
 
 Metrics BenchEnv::Run(SchemeKind scheme, int32_t num_taxis) {
-  return system_->RunScenario(scheme, scenario_.requests, num_taxis,
-                              /*fleet_seed=*/1);
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.requests = &scenario_.requests;
+  spec.num_taxis = num_taxis;
+  Result<Metrics> result = system_->RunScenario(spec);
+  MTSHARE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<Metrics> BenchEnv::RunAll(const std::vector<ScenarioSpec>& jobs) {
+  const char* env = std::getenv("MTSHARE_BENCH_THREADS");
+  const int32_t threads =
+      ThreadPool::DefaultThreads(env != nullptr ? std::atoi(env) : 0);
+  std::vector<Metrics> results(jobs.size());
+  ThreadPool pool(threads);
+  pool.ParallelFor(jobs.size(), [&](size_t i) {
+    ScenarioSpec spec = jobs[i];
+    if (spec.requests == nullptr) spec.requests = &scenario_.requests;
+    Result<Metrics> r = system_->RunScenario(spec);
+    MTSHARE_CHECK(r.ok());
+    results[i] = std::move(r).value();
+  });
+  return results;
+}
+
+std::vector<ScenarioSpec> BenchEnv::SweepJobs(
+    const std::vector<SchemeKind>& schemes,
+    const std::vector<int32_t>& fleets) {
+  std::vector<ScenarioSpec> jobs;
+  jobs.reserve(schemes.size() * fleets.size());
+  for (SchemeKind scheme : schemes) {
+    for (int32_t taxis : fleets) {
+      ScenarioSpec spec;
+      spec.scheme = scheme;
+      spec.requests = &scenario_.requests;
+      spec.num_taxis = taxis;
+      jobs.push_back(spec);
+    }
+  }
+  return jobs;
 }
 
 void PrintBanner(const std::string& experiment, const std::string& paper_ref) {

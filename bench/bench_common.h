@@ -55,6 +55,22 @@ class BenchEnv {
   /// Runs one scheme with the given fleet size on this scenario.
   Metrics Run(SchemeKind scheme, int32_t num_taxis);
 
+  /// Runs every job on this scenario, fanning the runs out across
+  /// MTSHARE_BENCH_THREADS worker threads (default: hardware concurrency).
+  /// Results come back in job order, and each run is bit-identical to a
+  /// serial Run() — the shared system state (distance oracle) is
+  /// thread-safe and fleet/engine state is per-run. Use for count-style
+  /// sweeps (served requests, candidates); wall-clock metrics
+  /// (response_ms, execution_seconds) get noisy when runs overlap, so
+  /// timing figures should keep their serial loops or export
+  /// MTSHARE_BENCH_THREADS=1.
+  std::vector<Metrics> RunAll(const std::vector<ScenarioSpec>& jobs);
+
+  /// Convenience: the cross product of schemes x fleet sizes as specs for
+  /// RunAll, in scheme-major order.
+  std::vector<ScenarioSpec> SweepJobs(const std::vector<SchemeKind>& schemes,
+                                      const std::vector<int32_t>& fleets);
+
  private:
   Window window_;
   SystemConfig config_;

@@ -19,15 +19,21 @@ int main() {
                   ? static_cast<int>(env.scenario().requests.size())
                   : 0);
   PrintHeader({"taxis", "No-Sharing", "T-Share", "pGreedyDP", "mT-Share"});
-  for (int32_t taxis : scale.fleet_sizes) {
-    Metrics none = env.Run(SchemeKind::kNoSharing, taxis);
-    Metrics tshare = env.Run(SchemeKind::kTShare, taxis);
-    Metrics pgreedy = env.Run(SchemeKind::kPGreedyDp, taxis);
-    Metrics mt = env.Run(SchemeKind::kMtShare, taxis);
-    PrintRow({std::to_string(taxis), std::to_string(none.ServedRequests()),
-              std::to_string(tshare.ServedRequests()),
-              std::to_string(pgreedy.ServedRequests()),
-              std::to_string(mt.ServedRequests())});
+  // Served counts are thread-schedule independent, so the whole
+  // scheme x fleet grid fans out across MTSHARE_BENCH_THREADS workers.
+  const std::vector<SchemeKind> schemes = {
+      SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
+      SchemeKind::kMtShare};
+  std::vector<Metrics> results =
+      env.RunAll(env.SweepJobs(schemes, scale.fleet_sizes));
+  const size_t num_fleets = scale.fleet_sizes.size();
+  for (size_t f = 0; f < num_fleets; ++f) {
+    std::vector<std::string> row = {std::to_string(scale.fleet_sizes[f])};
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      row.push_back(
+          std::to_string(results[s * num_fleets + f].ServedRequests()));
+    }
+    PrintRow(row);
   }
   return 0;
 }

@@ -36,7 +36,12 @@ int main() {
   SystemConfig config;
   config.kappa = 64;
   config.kt = 16;
-  MTShareSystem system(network, scenario.HistoricalOdPairs(), config);
+  auto system = MTShareSystem::Create(network, scenario.HistoricalOdPairs(),
+                                      config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "system: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
 
   const int32_t fleet = 100;
   std::printf("weekend 10:00-11:00, %zu requests (%d hailing offline), "
@@ -44,8 +49,17 @@ int main() {
               scenario.requests.size(), scenario.CountOffline(), fleet);
   std::printf("%-14s %8s %9s %9s %10s %11s\n", "scheme", "served", "online",
               "offline", "resp(ms)", "detour(min)");
+  ScenarioSpec spec;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = fleet;
   for (SchemeKind scheme : {SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
-    Metrics m = system.RunScenario(scheme, scenario.requests, fleet);
+    spec.scheme = scheme;
+    Result<Metrics> run = system.value()->RunScenario(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    Metrics m = std::move(run).value();
     std::printf("%-14s %8d %9d %9d %10.3f %11.2f\n", SchemeName(scheme),
                 m.ServedRequests(), m.ServedOnline(), m.ServedOffline(),
                 m.MeanResponseMs(), m.MeanDetourMinutes());

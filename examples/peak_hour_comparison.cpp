@@ -33,17 +33,31 @@ int main() {
   SystemConfig config;
   config.kappa = 64;
   config.kt = 16;
-  MTShareSystem system(network, scenario.HistoricalOdPairs(), config);
+  auto system = MTShareSystem::Create(network, scenario.HistoricalOdPairs(),
+                                      config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "system: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
 
   const int32_t fleet = 120;
   std::printf("morning peak: %zu requests, %d taxis, %d-vertex city\n\n",
               scenario.requests.size(), fleet, network.num_vertices());
   std::printf("%-12s %8s %10s %10s %10s %12s\n", "scheme", "served",
               "resp(ms)", "wait(min)", "detour", "income");
+  ScenarioSpec spec;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = fleet;
   for (SchemeKind scheme :
        {SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
         SchemeKind::kMtShare}) {
-    Metrics m = system.RunScenario(scheme, scenario.requests, fleet);
+    spec.scheme = scheme;
+    Result<Metrics> run = system.value()->RunScenario(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    Metrics m = std::move(run).value();
     std::printf("%-12s %8d %10.3f %10.2f %10.2f %12.0f\n", SchemeName(scheme),
                 m.ServedRequests(), m.MeanResponseMs(),
                 m.MeanWaitingMinutes(), m.MeanDetourMinutes(),

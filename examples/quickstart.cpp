@@ -39,17 +39,33 @@ int main() {
               scenario.requests.size(), scenario.historical_trips.size());
 
   // 4. The system: builds the bipartite map partitioning, landmark graph,
-  //    and transition statistics from the historical trips.
+  //    and transition statistics from the historical trips. Create()
+  //    validates the config and reports errors instead of dying.
   SystemConfig config;
   config.kappa = 40;  // partitions; scale with city size
   config.kt = 10;
-  MTShareSystem system(network, scenario.HistoricalOdPairs(), config);
+  auto system = MTShareSystem::Create(network, scenario.HistoricalOdPairs(),
+                                      config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "system: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
   std::printf("partitioning: %d partitions\n",
-              system.partitioning().num_partitions());
+              system.value()->partitioning().num_partitions());
 
-  // 5. Run a fleet of 60 shared taxis under mT-Share.
-  Metrics metrics =
-      system.RunScenario(SchemeKind::kMtShare, scenario.requests, 60);
+  // 5. Run a fleet of 60 shared taxis under mT-Share. ScenarioSpec is the
+  //    primary run API; num_threads > 1 parallelizes candidate scoring
+  //    with bit-identical results.
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = 60;
+  Result<Metrics> run = system.value()->RunScenario(spec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  Metrics metrics = std::move(run).value();
 
   std::printf("\nresults (mT-Share, 60 taxis):\n");
   std::printf("  served:        %d / %d requests\n", metrics.ServedRequests(),

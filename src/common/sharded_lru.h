@@ -1,0 +1,121 @@
+#ifndef MTSHARE_COMMON_SHARDED_LRU_H_
+#define MTSHARE_COMMON_SHARDED_LRU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mtshare {
+
+/// A mutex-striped LRU cache safe for concurrent readers and writers.
+/// Keys hash to one of `num_shards` independent shards, each with its own
+/// lock, recency list, and capacity slice, so queries from the parallel
+/// matching path only contend when they land on the same shard.
+///
+/// Values are handed out as shared_ptr<const V>: a reader keeps its row
+/// alive even if another thread evicts it from the shard a microsecond
+/// later. Misses compute under the shard lock — concurrent misses for
+/// *different* shards proceed in parallel, same-shard misses serialize,
+/// and a value is never computed twice for the same key while cached.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards.
+  /// The shard count is clamped to the capacity so tiny caches do not get
+  /// silently inflated by the one-entry-per-shard floor (a capacity-2 cache
+  /// must hold 2 rows, not num_shards rows).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 16)
+      : shards_(ClampShards(capacity, num_shards)) {
+    const size_t per = capacity / shards_.size();
+    for (Shard& s : shards_) s.capacity = per == 0 ? 1 : per;
+  }
+
+  /// Returns the value for `key`, invoking `compute` on a miss. The result
+  /// stays valid for as long as the caller holds the returned pointer.
+  std::shared_ptr<const Value> GetOrCompute(
+      const Key& key, const std::function<Value(const Key&)>& compute) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second.order_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.value;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.entries.size() >= shard.capacity) {
+      shard.entries.erase(shard.order.back());
+      shard.order.pop_back();
+    }
+    shard.order.push_front(key);
+    Entry entry{std::make_shared<const Value>(compute(key)),
+                shard.order.begin()};
+    auto value = entry.value;
+    shard.entries.emplace(key, std::move(entry));
+    return value;
+  }
+
+  /// Cached entries across all shards (racy snapshot under concurrency).
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      total += s.entries.size();
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Sums `size_of(value)` over the cached entries plus bookkeeping
+  /// overhead (Table IV memory accounting).
+  size_t MemoryBytes(
+      const std::function<size_t(const Value&)>& size_of) const {
+    size_t bytes = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      for (const auto& [key, entry] : s.entries) {
+        (void)key;
+        bytes += size_of(*entry.value) + sizeof(Entry) + sizeof(Key);
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    typename std::list<Key>::iterator order_it;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Key> order;  // front = most recently used
+    std::unordered_map<Key, Entry, Hash> entries;
+    size_t capacity = 1;
+  };
+
+  static size_t ClampShards(size_t capacity, size_t num_shards) {
+    if (num_shards == 0) num_shards = 1;
+    if (capacity == 0) capacity = 1;
+    return num_shards < capacity ? num_shards : capacity;
+  }
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_COMMON_SHARDED_LRU_H_

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace mtshare {
+
+ThreadPool::ThreadPool(int32_t num_threads) {
+  int32_t n = std::max<int32_t>(1, num_threads);
+  workers_.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks = std::min<size_t>(n, workers_.size());
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Contiguous chunks; the first runs on the calling thread while workers
+  // chew the rest, so all `chunks` run concurrently even when the caller
+  // is not itself a pool worker.
+  const size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = c * per;
+    const size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    pending.push_back(Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (size_t i = 0; i < std::min(per, n); ++i) fn(i);
+  for (std::future<void>& f : pending) f.get();
+}
+
+int32_t ThreadPool::DefaultThreads(int32_t requested) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int32_t>(hw);
+}
+
+}  // namespace mtshare

@@ -1,6 +1,10 @@
 #include "core/mtshare_system.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mtshare {
 
@@ -18,6 +22,64 @@ const char* SchemeName(SchemeKind kind) {
       return "mT-Share-pro";
   }
   return "?";
+}
+
+std::optional<SchemeKind> ParseScheme(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "no-sharing") return SchemeKind::kNoSharing;
+  if (lower == "t-share") return SchemeKind::kTShare;
+  // Both the display name "pGreedyDP" and the CLI spelling "pgreedy-dp".
+  if (lower == "pgreedydp" || lower == "pgreedy-dp") {
+    return SchemeKind::kPGreedyDp;
+  }
+  if (lower == "mt-share") return SchemeKind::kMtShare;
+  if (lower == "mt-share-pro") return SchemeKind::kMtSharePro;
+  return std::nullopt;
+}
+
+Status ScenarioSpec::Validate() const {
+  if (requests == nullptr) {
+    return Status::InvalidArgument("ScenarioSpec.requests must be set");
+  }
+  if (num_taxis < 1) {
+    return Status::InvalidArgument("ScenarioSpec.num_taxis must be >= 1");
+  }
+  if (num_threads < 0 || num_threads > 1024) {
+    return Status::InvalidArgument(
+        "ScenarioSpec.num_threads must be in [0, 1024]");
+  }
+  // The engine replays the stream in order and indexes records by id; the
+  // old API documented "sorted with dense ids" and crashed downstream on
+  // violations — the spec path reports them instead.
+  for (size_t i = 0; i < requests->size(); ++i) {
+    const RideRequest& r = (*requests)[i];
+    if (r.id != static_cast<RequestId>(i)) {
+      return Status::InvalidArgument(
+          "requests must carry dense ids 0..n-1 in order");
+    }
+    if (i > 0 && r.release_time < (*requests)[i - 1].release_time) {
+      return Status::InvalidArgument(
+          "requests must be sorted by release time");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MTShareSystem>> MTShareSystem::Create(
+    const RoadNetwork& network, const std::vector<OdPair>& historical_trips,
+    const SystemConfig& config) {
+  MTSHARE_RETURN_NOT_OK(config.Validate());
+  if (network.num_vertices() <= 0) {
+    return Status::InvalidArgument("network has no vertices");
+  }
+  if (config.bipartite_partitioning && historical_trips.empty()) {
+    return Status::InvalidArgument(
+        "bipartite partitioning needs historical trips (or set "
+        "bipartite_partitioning = false)");
+  }
+  return std::make_unique<MTShareSystem>(network, historical_trips, config);
 }
 
 MTShareSystem::MTShareSystem(const RoadNetwork& network,
@@ -74,20 +136,57 @@ std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
   return nullptr;
 }
 
+Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
+  MTSHARE_RETURN_NOT_OK(spec.Validate());
+  const std::vector<RideRequest>& requests = *spec.requests;
+  Seconds start_time = requests.empty() ? 0.0 : requests.front().release_time;
+  std::vector<TaxiState> fleet =
+      MakeFleet(network_, spec.num_taxis, config_.taxi_capacity,
+                spec.fleet_seed, start_time);
+  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(spec.scheme, &fleet);
+
+  // One pool per run: startup is microseconds against multi-second runs,
+  // and per-run pools keep concurrent RunScenario calls (the bench sweep
+  // runner) from sharing workers.
+  std::unique_ptr<ThreadPool> pool;
+  const int32_t threads = ThreadPool::DefaultThreads(spec.num_threads);
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    dispatcher->set_thread_pool(pool.get());
+  }
+
+  EngineOptions eopts;
+  eopts.serve_offline = spec.serve_offline;
+  eopts.payment = config_.payment;
+  SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
+
+  const int64_t q0 = oracle_->queries();
+  const int64_t h0 = oracle_->row_hits();
+  const int64_t m0 = oracle_->row_misses();
+  Metrics metrics = engine.Run(requests);
+  metrics.oracle_queries = oracle_->queries() - q0;
+  metrics.oracle_row_hits = oracle_->row_hits() - h0;
+  metrics.oracle_row_misses = oracle_->row_misses() - m0;
+  return metrics;
+}
+
 Metrics MTShareSystem::RunScenario(SchemeKind scheme,
                                    const std::vector<RideRequest>& requests,
                                    int32_t num_taxis, uint64_t fleet_seed,
                                    bool serve_offline) {
-  Seconds start_time =
-      requests.empty() ? 0.0 : requests.front().release_time;
-  std::vector<TaxiState> fleet = MakeFleet(
-      network_, num_taxis, config_.taxi_capacity, fleet_seed, start_time);
-  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(scheme, &fleet);
-  EngineOptions eopts;
-  eopts.serve_offline = serve_offline;
-  eopts.payment = config_.payment;
-  SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
-  return engine.Run(requests);
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.requests = &requests;
+  spec.num_taxis = num_taxis;
+  spec.fleet_seed = fleet_seed;
+  spec.serve_offline = serve_offline;
+  spec.num_threads = 1;
+  Result<Metrics> result = RunScenario(spec);
+  if (!result.ok()) {
+    MTSHARE_LOG(kError) << "RunScenario: " << result.status();
+  }
+  MTSHARE_CHECK(result.ok());
+  return std::move(result).value();
 }
 
 size_t MTShareSystem::SharedIndexMemoryBytes() const {

@@ -2,7 +2,9 @@
 #define MTSHARE_CORE_MTSHARE_SYSTEM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/system_config.h"
@@ -27,6 +29,35 @@ enum class SchemeKind {
 
 const char* SchemeName(SchemeKind kind);
 
+/// Inverse of SchemeName: parses a scheme from its display name or the CLI
+/// spelling ("mt-share", "pgreedy-dp", ...). Case-insensitive. Returns
+/// nullopt for unknown names. ParseScheme(SchemeName(k)) == k for every k.
+std::optional<SchemeKind> ParseScheme(std::string_view name);
+
+/// Everything that describes one simulation run. The primary entry point
+/// RunScenario(const ScenarioSpec&) consumes this; invalid combinations
+/// come back as Status instead of dying.
+struct ScenarioSpec {
+  SchemeKind scheme = SchemeKind::kMtShare;
+  /// The request stream, sorted by release time with ids dense from 0.
+  /// Non-owning: the caller's vector must outlive the run (scenarios are
+  /// reused across many runs; copying thousands of requests per sweep cell
+  /// would dominate small runs).
+  const std::vector<RideRequest>* requests = nullptr;
+  int32_t num_taxis = 0;
+  /// Controls initial taxi placement.
+  uint64_t fleet_seed = 1;
+  /// Enables offline-request encounters (street hails, Sec. IV-C2).
+  bool serve_offline = true;
+  /// Worker threads for candidate-schedule evaluation. 1 = sequential;
+  /// results are bit-identical for every value (deterministic reduction).
+  /// 0 = hardware concurrency.
+  int32_t num_threads = 1;
+
+  /// OK, or the first violated constraint.
+  Status Validate() const;
+};
+
 /// Top-level facade: builds the whole mT-Share stack (map partitioning,
 /// landmark graph, transition statistics, distance oracle) from a road
 /// network and historical trips, then runs request streams under any of
@@ -35,20 +66,36 @@ const char* SchemeName(SchemeKind kind);
 ///
 /// This is the entry point examples and benches use:
 ///
-///   MTShareSystem system(network, historical_od_pairs, config);
-///   Metrics m = system.RunScenario(SchemeKind::kMtShare, requests,
-///                                  /*num_taxis=*/300);
+///   auto system = MTShareSystem::Create(network, historical_od_pairs,
+///                                       config);
+///   if (!system.ok()) { /* handle system.status() */ }
+///   ScenarioSpec spec;
+///   spec.scheme = SchemeKind::kMtShare;
+///   spec.requests = &requests;
+///   spec.num_taxis = 300;
+///   Result<Metrics> m = system.value()->RunScenario(spec);
 class MTShareSystem {
  public:
-  /// Builds the indexes. Dies on invalid config (call config.Validate()
-  /// first for recoverable handling).
+  /// Validating factory: returns InvalidArgument instead of dying on a bad
+  /// config (the constructor CHECK-fails, kept for legacy call sites).
+  static Result<std::unique_ptr<MTShareSystem>> Create(
+      const RoadNetwork& network, const std::vector<OdPair>& historical_trips,
+      const SystemConfig& config);
+
+  /// Builds the indexes. Dies on invalid config — prefer Create(), which
+  /// validates and reports instead.
   MTShareSystem(const RoadNetwork& network,
                 const std::vector<OdPair>& historical_trips,
                 const SystemConfig& config);
 
-  /// Runs one scenario under a scheme with a fresh fleet of `num_taxis`.
-  /// `fleet_seed` controls initial taxi placement; requests must be sorted
-  /// with dense ids.
+  /// Runs one scenario with a fresh fleet. Primary entry point: validates
+  /// the spec (including request ordering) and fans candidate evaluation
+  /// out across spec.num_threads workers with bit-identical results.
+  Result<Metrics> RunScenario(const ScenarioSpec& spec);
+
+  /// Deprecated positional overload, kept as a thin wrapper over the
+  /// ScenarioSpec form; dies where the spec form would return an error.
+  /// Migrate to RunScenario(const ScenarioSpec&).
   Metrics RunScenario(SchemeKind scheme,
                       const std::vector<RideRequest>& requests,
                       int32_t num_taxis, uint64_t fleet_seed = 1,

@@ -20,6 +20,36 @@ LegCostFn Dispatcher::OracleCost() {
   return [this](VertexId a, VertexId b) { return oracle_->Cost(a, b); };
 }
 
+Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
+    const std::vector<TaxiId>& candidates, const RideRequest& request,
+    Seconds now) {
+  std::vector<InsertionResult> results(candidates.size());
+  LegCostFn cost = OracleCost();
+  auto evaluate = [&](size_t i) {
+    const TaxiState& t = taxi(candidates[i]);
+    results[i] = FindBestInsertionDp(t.schedule, request, t.location, now,
+                                     t.onboard, t.capacity, cost);
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && candidates.size() > 1) {
+    // Each slot is written by exactly one task; the oracle behind `cost` is
+    // thread-safe. Fleet state is read-only during a dispatch decision.
+    pool_->ParallelFor(candidates.size(), evaluate);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+  }
+  CandidateEval best;
+  Seconds best_detour = kInfiniteCost;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!results[i].found) continue;
+    if (results[i].detour < best_detour) {
+      best_detour = results[i].detour;
+      best.taxi = candidates[i];
+      best.insertion = std::move(results[i]);
+    }
+  }
+  return best;
+}
+
 RoutePlanner::PlannedRoute Dispatcher::PlanShortestRoute(
     VertexId start, Seconds start_time, const Schedule& schedule) {
   RoutePlanner::PlannedRoute out;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "demand/request.h"
 #include "matching/taxi_state.h"
 #include "partition/map_partitioning.h"
@@ -124,7 +125,30 @@ class Dispatcher {
   /// Resident bytes of the scheme's index structures (paper Table IV).
   virtual size_t IndexMemoryBytes() const { return 0; }
 
+  /// Attaches a worker pool (not owned; may be null = sequential). The
+  /// arg-min schemes score each candidate taxi's exhaustive insertion
+  /// concurrently; results are bit-identical to a single-threaded run
+  /// because the reduction happens in candidate order (see
+  /// EvaluateCandidates). The pool must outlive the dispatcher or be
+  /// detached by passing nullptr.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
  protected:
+  /// Best feasible insertion over `candidates` for `request`: each
+  /// candidate's FindBestInsertionDp runs on the pool when one is attached
+  /// (the matching hot path, paper Algorithm 1 / Table III), then a
+  /// sequential scan in candidate order keeps the winner — lowest detour,
+  /// ties to the earliest candidate — making the result independent of
+  /// thread schedule. Candidate lists are emitted in deterministic order
+  /// with ascending taxi ids within a bucket, so the tie-break is by taxi
+  /// id exactly as the single-threaded loop behaves.
+  struct CandidateEval {
+    TaxiId taxi = kInvalidTaxi;
+    InsertionResult insertion;
+  };
+  CandidateEval EvaluateCandidates(const std::vector<TaxiId>& candidates,
+                                   const RideRequest& request, Seconds now);
   /// Oracle-backed leg cost function (the O(1) shortest-path assumption).
   LegCostFn OracleCost();
 
@@ -142,6 +166,9 @@ class Dispatcher {
   DijkstraSearch route_dijkstra_;
 
  private:
+  /// Worker pool for candidate evaluation (not owned; null = sequential).
+  ThreadPool* pool_ = nullptr;
+
   // Idle-cruising state (see EnableIdleCruising).
   const MapPartitioning* cruise_partitioning_ = nullptr;
   RoutePlanner* cruise_planner_ = nullptr;

@@ -118,26 +118,18 @@ DispatchOutcome MtShareDispatcher::Dispatch(const RideRequest& request,
   double gamma = config_.gamma_max_m;
   std::vector<TaxiId> candidates = CandidateTaxis(request, now, gamma);
 
-  Seconds best_cost = kInfiniteCost;
-  TaxiId best_taxi = kInvalidTaxi;
-  InsertionResult best_ins;
+  // Exhaustive insertion over the candidate set (Algorithm 1), fanned out
+  // across the attached thread pool. The reduction in EvaluateCandidates is
+  // deterministic, so the winning (taxi, schedule) pair is identical to the
+  // single-threaded loop.
+  outcome.candidates = static_cast<int32_t>(candidates.size());
+  CandidateEval best = EvaluateCandidates(candidates, request, now);
+  if (best.taxi == kInvalidTaxi) return outcome;
+  Seconds best_cost = best.insertion.detour;
+  TaxiId best_taxi = best.taxi;
+  InsertionResult best_ins = std::move(best.insertion);
   RoutePlanner::PlannedRoute best_prob_route;
   bool best_is_prob = false;
-
-  for (TaxiId id : candidates) {
-    const TaxiState& t = taxi(id);
-    ++outcome.candidates;
-    InsertionResult ins = FindBestInsertionDp(t.schedule, request, t.location,
-                                            now, t.onboard, t.capacity,
-                                            OracleCost());
-    if (!ins.found) continue;
-    if (ins.detour < best_cost) {
-      best_cost = ins.detour;
-      best_taxi = id;
-      best_ins = std::move(ins);
-    }
-  }
-  if (best_taxi == kInvalidTaxi) return outcome;
 
   // Probabilistic mode (Algorithm 1 with flag set): the winning schedule
   // instance gets an offline-seeking route. The paper costs every instance

@@ -28,27 +28,24 @@ DispatchOutcome PGreedyDpDispatcher::Dispatch(const RideRequest& request,
   std::vector<int32_t> nearby =
       index_.ObjectsInRadius(origin, config_.gamma_max_m);
 
-  Seconds best_detour = kInfiniteCost;
-  InsertionResult best_ins;
-  TaxiId best_taxi = kInvalidTaxi;
+  // No direction/temporal prefilter: the scheme examines every in-range
+  // taxi's schedule (the paper's Table III shows it with the largest
+  // candidate sets and Fig. 7 with the slowest response); the DP itself
+  // rejects unreachable pickups. The seat filter stays sequential, the DP
+  // evaluations fan out across the thread pool with a deterministic
+  // reduction.
+  std::vector<TaxiId> candidates;
+  candidates.reserve(nearby.size());
   for (int32_t id : nearby) {
-    const TaxiState& t = taxi(id);
-    if (t.FreeSeats() < request.passengers) continue;
-    ++outcome.candidates;
-    // No direction/temporal prefilter: the scheme examines every in-range
-    // taxi's schedule (the paper's Table III shows it with the largest
-    // candidate sets and Fig. 7 with the slowest response); the DP itself
-    // rejects unreachable pickups.
-    InsertionResult ins = FindBestInsertionDp(t.schedule, request, t.location,
-                                              now, t.onboard, t.capacity,
-                                              OracleCost());
-    if (ins.found && ins.detour < best_detour) {
-      best_detour = ins.detour;
-      best_ins = std::move(ins);
-      best_taxi = id;
-    }
+    if (taxi(id).FreeSeats() < request.passengers) continue;
+    candidates.push_back(id);
   }
-  if (best_taxi == kInvalidTaxi) return outcome;
+  outcome.candidates = static_cast<int32_t>(candidates.size());
+  CandidateEval best = EvaluateCandidates(candidates, request, now);
+  if (best.taxi == kInvalidTaxi) return outcome;
+  TaxiId best_taxi = best.taxi;
+  Seconds best_detour = best.insertion.detour;
+  InsertionResult best_ins = std::move(best.insertion);
 
   RoutePlanner::PlannedRoute route = PlanShortestRoute(
       taxi(best_taxi).location, now, best_ins.schedule);

@@ -51,6 +51,11 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
            DistanceSquared(network_.coord(taxi(b).location), origin);
   });
 
+  // T-Share's signature is first-valid (not arg-min), with route planning
+  // inside the loop: the scan usually stops after one or two candidates, so
+  // unlike the arg-min schemes there is no evaluation fan-out to
+  // parallelize — speculatively scoring the whole candidate list would do
+  // strictly more work than the sequential early exit it replaces.
   for (int32_t id : candidates) {
     const TaxiState& t = taxi(id);
     ++outcome.candidates;

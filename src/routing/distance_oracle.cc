@@ -1,5 +1,7 @@
 #include "routing/distance_oracle.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace mtshare {
@@ -8,64 +10,97 @@ DistanceOracle::DistanceOracle(const RoadNetwork& network,
                                const OracleOptions& options)
     : network_(network),
       options_(options),
-      exact_mode_(network.num_vertices() <= options.max_exact_vertices),
-      dijkstra_(network) {
+      exact_mode_(network.num_vertices() <= options.max_exact_vertices) {
   if (exact_mode_) {
     exact_rows_.resize(network.num_vertices());
+    exact_filled_ =
+        std::make_unique<std::atomic<uint8_t>[]>(network.num_vertices());
+    for (VertexId v = 0; v < network.num_vertices(); ++v) {
+      exact_filled_[v].store(0, std::memory_order_relaxed);
+    }
+    fill_mutex_ = std::make_unique<std::mutex[]>(kFillStripes);
+  } else {
+    cache_ = std::make_unique<ShardedLruCache<VertexId, std::vector<Seconds>>>(
+        options.lru_rows, std::max<int32_t>(1, options.lru_shards));
   }
 }
 
-const std::vector<Seconds>& DistanceOracle::FetchRow(VertexId source) {
-  if (exact_mode_) {
-    auto& row = exact_rows_[source];
-    if (row.empty()) {
-      ++row_misses_;
-      row = dijkstra_.CostsFrom(source);
-    }
-    return row;
+std::vector<Seconds> DistanceOracle::ComputeRow(VertexId source) const {
+  // A fresh engine per fill keeps the search state thread-local; fills are
+  // rare (once per row in exact mode, once per eviction cycle in LRU mode),
+  // so the O(V) buffer setup is noise next to the O(E log V) search.
+  DijkstraSearch dijkstra(network_);
+  return dijkstra.CostsFrom(source);
+}
+
+const std::vector<Seconds>& DistanceOracle::ExactRow(VertexId source) {
+  if (exact_filled_[source].load(std::memory_order_acquire)) {
+    exact_hits_.fetch_add(1, std::memory_order_relaxed);
+    return exact_rows_[source];
   }
-  auto it = cache_.find(source);
-  if (it != cache_.end()) {
-    lru_order_.splice(lru_order_.begin(), lru_order_, it->second.order_it);
-    return it->second.row;
+  std::lock_guard<std::mutex> lock(fill_mutex_[source % kFillStripes]);
+  if (!exact_filled_[source].load(std::memory_order_relaxed)) {
+    exact_misses_.fetch_add(1, std::memory_order_relaxed);
+    exact_rows_[source] = ComputeRow(source);
+    exact_filled_[source].store(1, std::memory_order_release);
+  } else {
+    exact_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++row_misses_;
-  if (static_cast<int32_t>(cache_.size()) >= options_.lru_rows) {
-    VertexId victim = lru_order_.back();
-    lru_order_.pop_back();
-    cache_.erase(victim);
-  }
-  lru_order_.push_front(source);
-  CacheEntry entry{dijkstra_.CostsFrom(source), lru_order_.begin()};
-  auto [ins_it, inserted] = cache_.emplace(source, std::move(entry));
-  MTSHARE_CHECK(inserted);
-  return ins_it->second.row;
+  return exact_rows_[source];
 }
 
 Seconds DistanceOracle::Cost(VertexId source, VertexId target) {
   MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
   MTSHARE_CHECK(target >= 0 && target < network_.num_vertices());
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (source == target) return 0.0;
-  return FetchRow(source)[target];
+  if (exact_mode_) return ExactRow(source)[target];
+  auto row = cache_->GetOrCompute(
+      source, [this](VertexId v) { return ComputeRow(v); });
+  return (*row)[target];
 }
 
 const std::vector<Seconds>& DistanceOracle::Row(VertexId source) {
-  ++queries_;
-  return FetchRow(source);
+  MTSHARE_CHECK(exact_mode_);  // LRU rows can be evicted; use RowPtr()
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return ExactRow(source);
+}
+
+std::shared_ptr<const std::vector<Seconds>> DistanceOracle::RowPtr(
+    VertexId source) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (exact_mode_) {
+    // Alias the table-owned row; the table lives as long as the oracle.
+    const std::vector<Seconds>& row = ExactRow(source);
+    return std::shared_ptr<const std::vector<Seconds>>(
+        std::shared_ptr<const void>(), &row);
+  }
+  return cache_->GetOrCompute(source,
+                              [this](VertexId v) { return ComputeRow(v); });
+}
+
+int64_t DistanceOracle::row_hits() const {
+  return exact_mode_ ? exact_hits_.load(std::memory_order_relaxed)
+                     : cache_->hits();
+}
+
+int64_t DistanceOracle::row_misses() const {
+  return exact_mode_ ? exact_misses_.load(std::memory_order_relaxed)
+                     : cache_->misses();
 }
 
 size_t DistanceOracle::MemoryBytes() const {
-  size_t bytes = 0;
   if (exact_mode_) {
-    for (const auto& row : exact_rows_) bytes += row.size() * sizeof(Seconds);
-  } else {
-    for (const auto& [src, entry] : cache_) {
-      (void)src;
-      bytes += entry.row.size() * sizeof(Seconds) + sizeof(CacheEntry);
+    size_t bytes = 0;
+    for (VertexId v = 0; v < network_.num_vertices(); ++v) {
+      if (exact_filled_[v].load(std::memory_order_acquire)) {
+        bytes += exact_rows_[v].size() * sizeof(Seconds);
+      }
     }
+    return bytes;
   }
-  return bytes;
+  return cache_->MemoryBytes(
+      [](const std::vector<Seconds>& row) { return row.size() * sizeof(Seconds); });
 }
 
 }  // namespace mtshare

@@ -1,11 +1,12 @@
 #ifndef MTSHARE_ROUTING_DISTANCE_ORACLE_H_
 #define MTSHARE_ROUTING_DISTANCE_ORACLE_H_
 
-#include <list>
+#include <atomic>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
+#include "common/sharded_lru.h"
 #include "graph/road_network.h"
 #include "routing/dijkstra.h"
 
@@ -19,6 +20,10 @@ struct OracleOptions {
 
   /// Number of one-to-all rows retained in LRU mode.
   int32_t lru_rows = 4096;
+
+  /// Mutex stripes of the LRU row cache (concurrent queries only contend
+  /// when their source vertices hash to the same shard).
+  int32_t lru_shards = 16;
 };
 
 /// Shortest-path *cost* oracle with O(1) amortized queries, mirroring the
@@ -27,48 +32,64 @@ struct OracleOptions {
 /// rows for large ones. Costs only — use DijkstraSearch/AStarSearch when
 /// the vertex sequence is needed.
 ///
-/// Not thread-safe; the simulation engine is single-threaded by design.
+/// Thread-safe: the parallel matching engine issues Cost() queries from
+/// every pool worker concurrently. Exact mode fills each row exactly once
+/// behind striped mutexes and publishes it with an atomic flag; LRU mode
+/// delegates to a sharded, mutex-striped LRU cache (ShardedLruCache).
+/// Hit/miss counters are atomics and surface through Metrics.
 class DistanceOracle {
  public:
   DistanceOracle(const RoadNetwork& network, const OracleOptions& options = {});
 
   /// Travel seconds from source to target (kInfiniteCost if unreachable).
+  /// Safe to call from any thread.
   Seconds Cost(VertexId source, VertexId target);
 
-  /// One-to-all row for `source`. Valid until the row is evicted; copy if
-  /// retention is needed.
+  /// One-to-all row for `source`, exact mode only (rows are never evicted,
+  /// so the reference stays valid for the oracle's lifetime). LRU mode
+  /// callers must use RowPtr(), whose shared_ptr survives eviction.
   const std::vector<Seconds>& Row(VertexId source);
 
+  /// One-to-all row for `source`; works in both modes and is safe against
+  /// concurrent eviction.
+  std::shared_ptr<const std::vector<Seconds>> RowPtr(VertexId source);
+
   bool exact_mode() const { return exact_mode_; }
-  int64_t queries() const { return queries_; }
-  int64_t row_misses() const { return row_misses_; }
+  int64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  /// Row-cache traffic: a hit served a query from a resident row, a miss
+  /// paid a one-to-all Dijkstra. (Same-vertex queries short-circuit and
+  /// count toward neither.)
+  int64_t row_hits() const;
+  int64_t row_misses() const;
 
   /// Resident bytes of the table / cache (Tab. IV memory accounting).
   size_t MemoryBytes() const;
 
  private:
-  const std::vector<Seconds>& FetchRow(VertexId source);
+  std::vector<Seconds> ComputeRow(VertexId source) const;
+  const std::vector<Seconds>& ExactRow(VertexId source);
 
   const RoadNetwork& network_;
   OracleOptions options_;
   bool exact_mode_;
-  DijkstraSearch dijkstra_;
 
   /// Exact mode: dense row-major table, filled lazily one row at a time
   /// (a fully eager fill would still be fine but wastes startup time when
-  /// only part of the city is touched).
+  /// only part of the city is touched). `exact_filled_[v]` publishes row v
+  /// with release/acquire ordering; fills serialize per mutex stripe.
   std::vector<std::vector<Seconds>> exact_rows_;
+  std::unique_ptr<std::atomic<uint8_t>[]> exact_filled_;
+  static constexpr int32_t kFillStripes = 64;
+  std::unique_ptr<std::mutex[]> fill_mutex_;
+  std::atomic<int64_t> exact_hits_{0};
+  std::atomic<int64_t> exact_misses_{0};
 
   /// LRU mode.
-  std::list<VertexId> lru_order_;  // front = most recent
-  struct CacheEntry {
-    std::vector<Seconds> row;
-    std::list<VertexId>::iterator order_it;
-  };
-  std::unordered_map<VertexId, CacheEntry> cache_;
+  std::unique_ptr<ShardedLruCache<VertexId, std::vector<Seconds>>> cache_;
 
-  int64_t queries_ = 0;
-  int64_t row_misses_ = 0;
+  std::atomic<int64_t> queries_{0};
 };
 
 }  // namespace mtshare

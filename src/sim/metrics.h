@@ -64,6 +64,12 @@ class Metrics {
 
   /// Index memory reported by the dispatcher at run end (Table IV).
   size_t index_memory_bytes = 0;
+  /// Distance-oracle traffic during the run (deltas of the shared oracle's
+  /// counters; meaningful when runs do not overlap). Misses paid a
+  /// one-to-all Dijkstra; hits were served from the row table/cache.
+  int64_t oracle_queries = 0;
+  int64_t oracle_row_hits = 0;
+  int64_t oracle_row_misses = 0;
   /// Total driver income accumulated across the fleet.
   double total_driver_income = 0.0;
   /// Wall-clock seconds of the whole run (paper Fig. 21a).

@@ -1,0 +1,114 @@
+#include "common/sharded_lru.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mtshare {
+namespace {
+
+TEST(ShardedLruTest, ComputesOnMissServesOnHit) {
+  ShardedLruCache<int, std::string> cache(/*capacity=*/8, /*num_shards=*/2);
+  std::atomic<int> computes{0};
+  auto compute = [&](const int& k) {
+    computes.fetch_add(1);
+    return std::to_string(k);
+  };
+  EXPECT_EQ(*cache.GetOrCompute(7, compute), "7");
+  EXPECT_EQ(*cache.GetOrCompute(7, compute), "7");
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(ShardedLruTest, EvictsLeastRecentlyUsedPerShard) {
+  // One shard, capacity 2: inserting a third key evicts the stalest.
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  std::atomic<int> computes{0};
+  auto compute = [&](const int& k) {
+    computes.fetch_add(1);
+    return k * 10;
+  };
+  cache.GetOrCompute(1, compute);  // miss
+  cache.GetOrCompute(2, compute);  // miss
+  cache.GetOrCompute(1, compute);  // hit, refreshes 1
+  cache.GetOrCompute(3, compute);  // miss, evicts 2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.GetOrCompute(1, compute), 10);  // still resident
+  EXPECT_EQ(*cache.GetOrCompute(2, compute), 20);  // recompute: was evicted
+  EXPECT_EQ(computes.load(), 4);
+}
+
+TEST(ShardedLruTest, ShardCountClampsToCapacity) {
+  // A tiny cache must not be inflated by the one-entry-per-shard floor:
+  // capacity 1 with 4 requested shards still holds exactly one entry.
+  ShardedLruCache<int, int> tiny(/*capacity=*/1, /*num_shards=*/4);
+  EXPECT_EQ(tiny.num_shards(), 1u);
+  auto compute = [](const int& k) { return k; };
+  for (int k = 0; k < 100; ++k) tiny.GetOrCompute(k, compute);
+  EXPECT_EQ(tiny.size(), 1u);
+
+  ShardedLruCache<int, int> mid(/*capacity=*/8, /*num_shards=*/16);
+  EXPECT_EQ(mid.num_shards(), 8u);
+  ShardedLruCache<int, int> big(/*capacity=*/64, /*num_shards=*/16);
+  EXPECT_EQ(big.num_shards(), 16u);
+}
+
+TEST(ShardedLruTest, EvictedValueSurvivesViaSharedPtr) {
+  ShardedLruCache<int, std::vector<int>> cache(/*capacity=*/1,
+                                               /*num_shards=*/1);
+  auto compute = [](const int& k) { return std::vector<int>(3, k); };
+  std::shared_ptr<const std::vector<int>> row = cache.GetOrCompute(5, compute);
+  cache.GetOrCompute(6, compute);  // evicts key 5
+  EXPECT_EQ(row->size(), 3u);      // the held pointer keeps the value alive
+  EXPECT_EQ((*row)[0], 5);
+}
+
+TEST(ShardedLruTest, ConcurrentHitCountingIsExact) {
+  // N threads x M lookups over a key set that fits in cache: after the
+  // warm-up misses, every access is a hit, and hits + misses == lookups.
+  const int kThreads = 8;
+  const int kLookups = 2000;
+  const int kKeys = 16;
+  ShardedLruCache<int, int> cache(/*capacity=*/64, /*num_shards=*/4);
+  auto compute = [](const int& k) { return k + 1; };
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> checked{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kLookups; ++i) {
+        int key = (t + i) % kKeys;
+        auto value = cache.GetOrCompute(key, compute);
+        if (*value == key + 1) checked.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(checked.load(), int64_t(kThreads) * kLookups);  // values correct
+  EXPECT_EQ(cache.hits() + cache.misses(), int64_t(kThreads) * kLookups);
+  // No evictions (64 >= 16): each key computes at most once per shard
+  // residency, i.e. exactly kKeys misses.
+  EXPECT_EQ(cache.misses(), kKeys);
+  EXPECT_EQ(cache.size(), size_t(kKeys));
+}
+
+TEST(ShardedLruTest, MemoryBytesSumsEntries) {
+  ShardedLruCache<int, std::vector<double>> cache(/*capacity=*/8,
+                                                  /*num_shards=*/2);
+  auto compute = [](const int&) { return std::vector<double>(10, 1.0); };
+  EXPECT_EQ(cache.MemoryBytes([](const std::vector<double>& v) {
+    return v.size() * sizeof(double);
+  }), 0u);
+  cache.GetOrCompute(1, compute);
+  cache.GetOrCompute(2, compute);
+  size_t bytes = cache.MemoryBytes([](const std::vector<double>& v) {
+    return v.size() * sizeof(double);
+  });
+  EXPECT_GE(bytes, 2 * 10 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace mtshare

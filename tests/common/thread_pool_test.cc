@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mtshare {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.size(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  std::future<void> done = pool.Submit([&] { value.store(42); });
+  done.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v.store(0);
+    pool.ParallelFor(visits.size(),
+                     [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n < threads: only n indices run.
+  std::atomic<int> tiny{0};
+  pool.ParallelFor(2, [&](size_t) { tiny.fetch_add(1); });
+  EXPECT_EQ(tiny.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForResultsMatchSequential) {
+  // Slot-per-index writing: the parallel sum equals the serial sum.
+  std::vector<int64_t> input(1000);
+  std::iota(input.begin(), input.end(), 1);
+  std::vector<int64_t> out_seq(input.size());
+  for (size_t i = 0; i < input.size(); ++i) out_seq[i] = input[i] * input[i];
+  ThreadPool pool(8);
+  std::vector<int64_t> out_par(input.size());
+  pool.ParallelFor(input.size(),
+                   [&](size_t i) { out_par[i] = input[i] * input[i]; });
+  EXPECT_EQ(out_seq, out_par);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsHonorsRequestAndFallsBack) {
+  EXPECT_EQ(ThreadPool::DefaultThreads(3), 3);
+  EXPECT_EQ(ThreadPool::DefaultThreads(1), 1);
+  EXPECT_GE(ThreadPool::DefaultThreads(0), 1);   // hardware concurrency
+  EXPECT_GE(ThreadPool::DefaultThreads(-1), 1);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -17,6 +17,8 @@
 //   --capacity     seats per taxi          (default 3)
 //   --gamma        searching range, m      (default 2500)
 //   --seed         RNG seed                (default 42)
+//   --threads      matching worker threads (default 1; 0 = all cores;
+//                  results identical for any value)
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
 //   --per-request  write a per-request CSV record here
@@ -67,20 +69,6 @@ std::string GetS(const std::map<std::string, std::string>& args,
   return it == args.end() ? fallback : it->second;
 }
 
-bool ParseScheme(const std::string& name, SchemeKind* out) {
-  static const std::map<std::string, SchemeKind> kSchemes = {
-      {"no-sharing", SchemeKind::kNoSharing},
-      {"t-share", SchemeKind::kTShare},
-      {"pgreedy-dp", SchemeKind::kPGreedyDp},
-      {"mt-share", SchemeKind::kMtShare},
-      {"mt-share-pro", SchemeKind::kMtSharePro},
-  };
-  auto it = kSchemes.find(name);
-  if (it == kSchemes.end()) return false;
-  *out = it->second;
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,8 +79,8 @@ int main(int argc, char** argv) {
     return args.count("help") ? 0 : 2;
   }
 
-  SchemeKind scheme;
-  if (!ParseScheme(GetS(args, "scheme", "mt-share"), &scheme)) {
+  std::optional<SchemeKind> scheme = ParseScheme(GetS(args, "scheme", "mt-share"));
+  if (!scheme.has_value()) {
     std::fprintf(stderr, "unknown --scheme\n");
     return 2;
   }
@@ -147,12 +135,27 @@ int main(int argc, char** argv) {
   sopt.seed = seed + 2;
   Scenario scenario = MakeScenario(network, demand, oracle, sopt);
 
-  MTShareSystem system(network, scenario.HistoricalOdPairs(), config);
-  const int32_t taxis = int32_t(GetD(args, "taxis", 150));
-  Metrics m = system.RunScenario(scheme, scenario.requests, taxis, seed + 3);
+  auto system =
+      MTShareSystem::Create(network, scenario.HistoricalOdPairs(), config);
+  if (!system.ok()) {
+    std::fprintf(stderr, "system: %s\n", system.status().ToString().c_str());
+    return 2;
+  }
+  ScenarioSpec spec;
+  spec.scheme = *scheme;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = int32_t(GetD(args, "taxis", 150));
+  spec.fleet_seed = seed + 3;
+  spec.num_threads = int32_t(GetD(args, "threads", 1));
+  Result<Metrics> run = system.value()->RunScenario(spec);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+    return 2;
+  }
+  Metrics m = std::move(run).value();
 
   std::printf("scheme=%s window=%s taxis=%d requests=%zu offline=%d\n",
-              SchemeName(scheme), peak ? "peak" : "nonpeak", taxis,
+              SchemeName(*scheme), peak ? "peak" : "nonpeak", spec.num_taxis,
               scenario.requests.size(), scenario.CountOffline());
   std::printf("served=%d (online=%d offline=%d)\n", m.ServedRequests(),
               m.ServedOnline(), m.ServedOffline());
