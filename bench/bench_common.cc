@@ -1,13 +1,56 @@
 #include "bench_common.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "sim/run_report.h"
 
 namespace mtshare::bench {
+
+namespace {
+
+// Trajectory state armed by PrintBanner (benches are single-experiment
+// processes; the mutex covers RecordRun calls from parallel sweeps).
+std::string g_report_path;  // empty = reporting disabled / not armed
+std::string g_report_experiment;
+std::mutex g_report_mutex;
+
+std::string SlugFromBanner(const std::string& experiment) {
+  std::string slug;
+  for (char c : experiment) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+    if (slug.size() >= 48) break;
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "run" : slug;
+}
+
+/// MTSHARE_BENCH_THREADS, strictly parsed: garbage ("abc", "-3") is a
+/// hard error instead of atoi's silent 0 ("all cores").
+int32_t BenchThreads() {
+  const char* env = std::getenv("MTSHARE_BENCH_THREADS");
+  if (env == nullptr) return ThreadPool::DefaultThreads(0);
+  int64_t value = 0;
+  if (!ParseInt64(Trim(env), &value) || value < 0 || value > 1024) {
+    std::fprintf(stderr,
+                 "invalid MTSHARE_BENCH_THREADS='%s' (want an integer in "
+                 "[0, 1024]; 0 = all cores)\n",
+                 env);
+    std::exit(2);
+  }
+  return ThreadPool::DefaultThreads(static_cast<int32_t>(value));
+}
+
+}  // namespace
 
 BenchScale GetScale() {
   BenchScale scale;
@@ -75,22 +118,49 @@ Metrics BenchEnv::Run(SchemeKind scheme, int32_t num_taxis) {
   spec.num_taxis = num_taxis;
   Result<Metrics> result = system_->RunScenario(spec);
   MTSHARE_CHECK(result.ok());
-  return std::move(result).value();
+  Metrics metrics = std::move(result).value();
+  RecordRun(spec, metrics);
+  return metrics;
+}
+
+void BenchEnv::RecordRun(const ScenarioSpec& spec, const Metrics& metrics) {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  if (g_report_path.empty()) return;
+  RunReportContext ctx;
+  ctx.experiment = g_report_experiment;
+  ctx.scheme = SchemeName(spec.scheme);
+  ctx.window = window_ == Window::kPeak ? "peak" : "nonpeak";
+  ctx.num_taxis = spec.num_taxis;
+  ctx.num_requests = static_cast<int32_t>(scenario_.requests.size());
+  ctx.seed = spec.fleet_seed;
+  Status appended = AppendRunReportLine(g_report_path, ctx, metrics);
+  if (!appended.ok()) {
+    // A broken trajectory file must not kill a multi-minute bench run;
+    // warn once and disarm.
+    std::fprintf(stderr, "bench report disabled: %s\n",
+                 appended.ToString().c_str());
+    g_report_path.clear();
+  }
 }
 
 std::vector<Metrics> BenchEnv::RunAll(const std::vector<ScenarioSpec>& jobs) {
-  const char* env = std::getenv("MTSHARE_BENCH_THREADS");
-  const int32_t threads =
-      ThreadPool::DefaultThreads(env != nullptr ? std::atoi(env) : 0);
+  const int32_t threads = BenchThreads();
   std::vector<Metrics> results(jobs.size());
+  std::vector<ScenarioSpec> resolved(jobs);
+  for (ScenarioSpec& spec : resolved) {
+    if (spec.requests == nullptr) spec.requests = &scenario_.requests;
+  }
   ThreadPool pool(threads);
   pool.ParallelFor(jobs.size(), [&](size_t i) {
-    ScenarioSpec spec = jobs[i];
-    if (spec.requests == nullptr) spec.requests = &scenario_.requests;
-    Result<Metrics> r = system_->RunScenario(spec);
+    Result<Metrics> r = system_->RunScenario(resolved[i]);
     MTSHARE_CHECK(r.ok());
     results[i] = std::move(r).value();
   });
+  // Trajectory entries go out in job order once the sweep settles, so the
+  // file order is deterministic no matter how the pool scheduled the runs.
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    RecordRun(resolved[i], results[i]);
+  }
   return results;
 }
 
@@ -116,6 +186,21 @@ void PrintBanner(const std::string& experiment, const std::string& paper_ref) {
   std::printf("%s\n", experiment.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("================================================================\n");
+
+  // Arm trajectory logging: one BENCH_<slug>.json per experiment, one JSON
+  // line per subsequent run.
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  const char* enabled = std::getenv("MTSHARE_BENCH_REPORT");
+  if (enabled != nullptr && enabled[0] == '0') {
+    g_report_path.clear();
+    return;
+  }
+  const char* dir = std::getenv("MTSHARE_BENCH_REPORT_DIR");
+  std::string prefix = dir != nullptr && dir[0] != '\0'
+                           ? std::string(dir) + "/"
+                           : std::string();
+  g_report_experiment = SlugFromBanner(experiment);
+  g_report_path = prefix + "BENCH_" + g_report_experiment + ".json";
 }
 
 void PrintHeader(const std::vector<std::string>& columns) {

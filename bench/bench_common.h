@@ -55,6 +55,12 @@ class BenchEnv {
   /// Runs one scheme with the given fleet size on this scenario.
   Metrics Run(SchemeKind scheme, int32_t num_taxis);
 
+  /// Appends this run to the current bench trajectory file (one JSON line
+  /// per run in BENCH_<experiment>.json; see PrintBanner). Run/RunAll call
+  /// it automatically; custom loops that build their own specs can call it
+  /// for extra runs. No-op when reporting is disabled.
+  void RecordRun(const ScenarioSpec& spec, const Metrics& metrics);
+
   /// Runs every job on this scenario, fanning the runs out across
   /// MTSHARE_BENCH_THREADS worker threads (default: hardware concurrency).
   /// Results come back in job order, and each run is bit-identical to a
@@ -81,7 +87,12 @@ class BenchEnv {
   std::unique_ptr<MTShareSystem> system_;
 };
 
-/// Printing helpers for paper-style tables.
+/// Printing helpers for paper-style tables. PrintBanner additionally arms
+/// run-report trajectory logging: every subsequent BenchEnv::Run/RunAll
+/// appends one JSON line per run to BENCH_<experiment-slug>.json (in
+/// MTSHARE_BENCH_REPORT_DIR, default the working directory; set
+/// MTSHARE_BENCH_REPORT=0 to disable). The line format is the run-report
+/// schema documented in EXPERIMENTS.md.
 void PrintBanner(const std::string& experiment, const std::string& paper_ref);
 void PrintHeader(const std::vector<std::string>& columns);
 void PrintRow(const std::vector<std::string>& cells);

@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi) {
+  MTSHARE_CHECK(lo > 0.0 && hi > lo && bins >= 1);
+  log_lo_ = std::log(lo_);
+  log_ratio_ = (std::log(hi_) - log_lo_) / static_cast<double>(bins);
+  counts_.assign(bins + 2, 0);  // [0,lo) + bins geometric + [hi,inf)
+}
+
+size_t LatencyHistogram::BucketIndex(double value) const {
+  if (value < lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  size_t i = 1 + static_cast<size_t>((std::log(value) - log_lo_) / log_ratio_);
+  // log() round-off can land a boundary value one bucket off; clamp into
+  // the geometric range and nudge so BucketLow <= value < BucketHigh.
+  i = std::min(i, counts_.size() - 2);
+  if (value < BucketLow(i) && i > 1) --i;
+  if (value >= BucketHigh(i) && i < counts_.size() - 2) ++i;
+  return i;
+}
+
+void LatencyHistogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  ++counts_[BucketIndex(value)];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  MTSHARE_CHECK(SameLayout(other));
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+void LatencyHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double LatencyHistogram::BucketLow(size_t i) const {
+  if (i == 0) return 0.0;
+  if (i == counts_.size() - 1) return hi_;
+  return std::exp(log_lo_ + log_ratio_ * static_cast<double>(i - 1));
+}
+
+double LatencyHistogram::BucketHigh(size_t i) const {
+  if (i == 0) return lo_;
+  if (i == counts_.size() - 1) return hi_;  // open-ended; Max() caps it
+  return std::exp(log_lo_ + log_ratio_ * static_cast<double>(i));
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank in [1, count]; walk the cumulative counts to the owning bucket.
+  const double rank = p * static_cast<double>(count_ - 1) + 1.0;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) >= rank) {
+      // Linear interpolation across the bucket's value span by the rank's
+      // position within the bucket's count mass.
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts_[i]);
+      double low = BucketLow(i);
+      double high = i == counts_.size() - 1 ? max_ : BucketHigh(i);
+      double v = low + (high - low) * within;
+      return std::clamp(v, min_, max_);
+    }
+    seen += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace mtshare

@@ -25,14 +25,22 @@ namespace mtshare {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedLruCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across shards.
+  /// `capacity` is the total entry budget, split across shards: every
+  /// shard gets capacity / shards slots and the first capacity % shards
+  /// shards one extra, so the per-shard budgets always sum to `capacity`
+  /// (a plain integer split would silently drop the remainder — capacity
+  /// 20 over 16 shards must hold 20 rows, not 16).
   /// The shard count is clamped to the capacity so tiny caches do not get
   /// silently inflated by the one-entry-per-shard floor (a capacity-2 cache
   /// must hold 2 rows, not num_shards rows).
   explicit ShardedLruCache(size_t capacity, size_t num_shards = 16)
       : shards_(ClampShards(capacity, num_shards)) {
+    if (capacity == 0) capacity = 1;
     const size_t per = capacity / shards_.size();
-    for (Shard& s : shards_) s.capacity = per == 0 ? 1 : per;
+    const size_t extra = capacity % shards_.size();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i].capacity = per + (i < extra ? 1 : 0);
+    }
   }
 
   /// Returns the value for `key`, invoking `compute` on a miss. The result
@@ -48,15 +56,17 @@ class ShardedLruCache {
       return it->second.value;
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    // Construct the value before touching the recency list or evicting:
+    // a throwing compute must leave the shard exactly as it found it
+    // (linking the key first would orphan a recency entry, and a later
+    // insert of the same key would duplicate it and overflow capacity).
+    auto value = std::make_shared<const Value>(compute(key));
     if (shard.entries.size() >= shard.capacity) {
       shard.entries.erase(shard.order.back());
       shard.order.pop_back();
     }
     shard.order.push_front(key);
-    Entry entry{std::make_shared<const Value>(compute(key)),
-                shard.order.begin()};
-    auto value = entry.value;
-    shard.entries.emplace(key, std::move(entry));
+    shard.entries.emplace(key, Entry{value, shard.order.begin()});
     return value;
   }
 
@@ -71,6 +81,12 @@ class ShardedLruCache {
   }
 
   size_t num_shards() const { return shards_.size(); }
+  /// Total entry slots across shards == the configured capacity budget.
+  size_t capacity() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) total += s.capacity;
+    return total;
+  }
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 

@@ -144,6 +144,7 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
       MakeFleet(network_, spec.num_taxis, config_.taxi_capacity,
                 spec.fleet_seed, start_time);
   std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(spec.scheme, &fleet);
+  dispatcher->EnablePhaseTiming(spec.collect_phase_timing);
 
   // One pool per run: startup is microseconds against multi-second runs,
   // and per-run pools keep concurrent RunScenario calls (the bench sweep

@@ -53,6 +53,10 @@ struct ScenarioSpec {
   /// results are bit-identical for every value (deterministic reduction).
   /// 0 = hardware concurrency.
   int32_t num_threads = 1;
+  /// Collects the per-phase dispatch-time breakdown (Metrics::phases,
+  /// surfaced in run reports). A handful of steady_clock reads per
+  /// dispatch; set false to shave even that from latency-critical runs.
+  bool collect_phase_timing = true;
 
   /// OK, or the first violated constraint.
   Status Validate() const;

@@ -23,6 +23,7 @@ LegCostFn Dispatcher::OracleCost() {
 Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     const std::vector<TaxiId>& candidates, const RideRequest& request,
     Seconds now) {
+  ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
   std::vector<InsertionResult> results(candidates.size());
   LegCostFn cost = OracleCost();
   auto evaluate = [&](size_t i) {
@@ -52,6 +53,7 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
 
 RoutePlanner::PlannedRoute Dispatcher::PlanShortestRoute(
     VertexId start, Seconds start_time, const Schedule& schedule) {
+  ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kRouting);
   RoutePlanner::PlannedRoute out;
   out.path = Path::Trivial(start);
   Seconds t = start_time;
@@ -131,9 +133,12 @@ DispatchOutcome Dispatcher::TryServeEncountered(const RideRequest& request,
   const TaxiState& t = taxi(taxi_id);
   if (t.FreeSeats() < request.passengers) return outcome;
   // The taxi is physically at the request's origin: insert and re-plan.
-  InsertionResult ins =
-      FindBestInsertionDp(t.schedule, request, t.location, now, t.onboard,
-                        t.capacity, OracleCost());
+  InsertionResult ins;
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
+    ins = FindBestInsertionDp(t.schedule, request, t.location, now, t.onboard,
+                              t.capacity, OracleCost());
+  }
   if (!ins.found) return outcome;
   RoutePlanner::PlannedRoute route =
       PlanShortestRoute(t.location, now, ins.schedule);

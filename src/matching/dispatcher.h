@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "demand/request.h"
+#include "matching/phase_timers.h"
 #include "matching/taxi_state.h"
 #include "partition/map_partitioning.h"
 #include "routing/distance_oracle.h"
@@ -134,6 +135,15 @@ class Dispatcher {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Arms (or disarms) per-phase dispatch timing and clears any
+  /// accumulated totals. Disabled timing costs one branch per section.
+  void EnablePhaseTiming(bool enabled) {
+    phase_timers_.Reset();
+    phase_timers_.enabled = enabled;
+  }
+  /// Accumulated per-phase dispatch time (the run-report breakdown).
+  const PhaseTimers& phase_timers() const { return phase_timers_; }
+
  protected:
   /// Best feasible insertion over `candidates` for `request`: each
   /// candidate's FindBestInsertionDp runs on the pool when one is attached
@@ -164,6 +174,9 @@ class Dispatcher {
   std::vector<TaxiState>* fleet_;
   MatchingConfig config_;
   DijkstraSearch route_dijkstra_;
+  /// Per-phase dispatch time; schemes attribute their sections with
+  /// ScopedPhaseTimer. Written only by the engine thread.
+  PhaseTimers phase_timers_;
 
  private:
   /// Worker pool for candidate evaluation (not owned; null = sequential).

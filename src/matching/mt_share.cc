@@ -60,20 +60,27 @@ std::vector<TaxiId> MtShareDispatcher::CandidateTaxis(
   const Point& origin = network_.coord(request.origin);
   MobilityVector rv{origin, network_.coord(request.destination)};
 
-  // Partitions intersecting the searching circle (eq. (3)'s S_ri).
-  std::vector<PartitionId> area =
-      partitioning_.PartitionsIntersectingCircle(origin, gamma);
+  std::vector<PartitionId> area;
+  std::unordered_set<TaxiId> in_cluster;
+  {
+    // Partition + mobility-compatibility setup is the filter phase: it
+    // decides which taxis are even eligible before the arrival lists are
+    // scanned.
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+    // Partitions intersecting the searching circle (eq. (3)'s S_ri).
+    area = partitioning_.PartitionsIntersectingCircle(origin, gamma);
 
-  // Direction-compatible mobility cluster(s): the single best C_a per the
-  // literal eq. (3), or the union of all passing clusters (default; avoids
-  // losing taxis to cluster fragmentation).
-  std::vector<TaxiId> cluster_taxis =
-      config_.match_all_compatible_clusters
-          ? index_.CompatibleClusterTaxis(rv)
-          : index_.ClusterTaxis(index_.FindCluster(rv));
-  std::unordered_set<TaxiId> in_cluster(cluster_taxis.begin(),
-                                        cluster_taxis.end());
+    // Direction-compatible mobility cluster(s): the single best C_a per the
+    // literal eq. (3), or the union of all passing clusters (default; avoids
+    // losing taxis to cluster fragmentation).
+    std::vector<TaxiId> cluster_taxis =
+        config_.match_all_compatible_clusters
+            ? index_.CompatibleClusterTaxis(rv)
+            : index_.ClusterTaxis(index_.FindCluster(rv));
+    in_cluster.insert(cluster_taxis.begin(), cluster_taxis.end());
+  }
 
+  ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
   std::vector<TaxiId> candidates;
   const Seconds pickup_deadline = request.PickupDeadline();
   // Epoch-stamped dedup across overlapping partitions.
@@ -151,6 +158,7 @@ DispatchOutcome MtShareDispatcher::Dispatch(const RideRequest& request,
       const Point& here = network_.coord(t.location);
       dir = Point{dest_sum.x / n - here.x, dest_sum.y / n - here.y};
     }
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kRouting);
     best_prob_route = planner_.PlanRoute(t.location, now, best_ins.schedule,
                                          /*probabilistic=*/true, dir);
     best_is_prob = best_prob_route.valid;

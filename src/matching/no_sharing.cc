@@ -32,19 +32,25 @@ DispatchOutcome NoSharingDispatcher::Dispatch(const RideRequest& request,
                                               Seconds now) {
   DispatchOutcome outcome;
   const Point& origin = network_.coord(request.origin);
-  std::vector<int32_t> nearby =
-      index_.ObjectsInRadius(origin, config_.gamma_max_m);
-  // Nearest idle taxi that can still reach the pickup in time.
-  std::sort(nearby.begin(), nearby.end(), [&](int32_t a, int32_t b) {
-    return DistanceSquared(network_.coord(taxi(a).location), origin) <
-           DistanceSquared(network_.coord(taxi(b).location), origin);
-  });
+  std::vector<int32_t> nearby;
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
+    nearby = index_.ObjectsInRadius(origin, config_.gamma_max_m);
+    // Nearest idle taxi that can still reach the pickup in time.
+    std::sort(nearby.begin(), nearby.end(), [&](int32_t a, int32_t b) {
+      return DistanceSquared(network_.coord(taxi(a).location), origin) <
+             DistanceSquared(network_.coord(taxi(b).location), origin);
+    });
+  }
   for (int32_t id : nearby) {
     const TaxiState& t = taxi(id);
     if (!t.Idle() || t.capacity < request.passengers) continue;
     ++outcome.candidates;
-    Seconds approach = oracle_->Cost(t.location, request.origin);
-    if (now + approach > request.PickupDeadline()) continue;
+    {
+      ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+      Seconds approach = oracle_->Cost(t.location, request.origin);
+      if (now + approach > request.PickupDeadline()) continue;
+    }
     Schedule schedule;
     schedule.Append(ScheduleEvent{request.id, request.origin, true,
                                   request.PickupDeadline(),

@@ -25,8 +25,11 @@ DispatchOutcome PGreedyDpDispatcher::Dispatch(const RideRequest& request,
                                               Seconds now) {
   DispatchOutcome outcome;
   const Point& origin = network_.coord(request.origin);
-  std::vector<int32_t> nearby =
-      index_.ObjectsInRadius(origin, config_.gamma_max_m);
+  std::vector<int32_t> nearby;
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
+    nearby = index_.ObjectsInRadius(origin, config_.gamma_max_m);
+  }
 
   // No direction/temporal prefilter: the scheme examines every in-range
   // taxi's schedule (the paper's Table III shows it with the largest
@@ -36,9 +39,12 @@ DispatchOutcome PGreedyDpDispatcher::Dispatch(const RideRequest& request,
   // reduction.
   std::vector<TaxiId> candidates;
   candidates.reserve(nearby.size());
-  for (int32_t id : nearby) {
-    if (taxi(id).FreeSeats() < request.passengers) continue;
-    candidates.push_back(id);
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+    for (int32_t id : nearby) {
+      if (taxi(id).FreeSeats() < request.passengers) continue;
+      candidates.push_back(id);
+    }
   }
   outcome.candidates = static_cast<int32_t>(candidates.size());
   CandidateEval best = EvaluateCandidates(candidates, request, now);

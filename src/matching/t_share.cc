@@ -31,7 +31,11 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
   const double gamma = config_.gamma_max_m;
 
   // Origin side: taxis currently within gamma of the pickup.
-  std::vector<int32_t> origin_side = index_.ObjectsInRadius(origin, gamma);
+  std::vector<int32_t> origin_side;
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
+    origin_side = index_.ObjectsInRadius(origin, gamma);
+  }
   // Destination side: taxis farther from the dropoff than the trip length
   // (or gamma, whichever is larger) are discarded — the dual-side
   // intersection that "mistakenly removes many possible taxis" (paper
@@ -39,17 +43,23 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
   // destination is dropped even when its schedule would serve the trip.
   const double dest_bound = std::max(Distance(origin, dest), gamma);
   std::vector<int32_t> candidates;
-  for (int32_t id : origin_side) {
-    const TaxiState& t = taxi(id);
-    if (Distance(network_.coord(t.location), dest) > dest_bound) continue;
-    if (t.FreeSeats() < request.passengers) continue;
-    candidates.push_back(id);
+  {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+    for (int32_t id : origin_side) {
+      const TaxiState& t = taxi(id);
+      if (Distance(network_.coord(t.location), dest) > dest_bound) continue;
+      if (t.FreeSeats() < request.passengers) continue;
+      candidates.push_back(id);
+    }
+    // Nearest-to-origin first; T-Share returns the FIRST valid taxi.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](int32_t a, int32_t b) {
+                return DistanceSquared(network_.coord(taxi(a).location),
+                                       origin) <
+                       DistanceSquared(network_.coord(taxi(b).location),
+                                       origin);
+              });
   }
-  // Nearest-to-origin first; T-Share returns the FIRST valid taxi.
-  std::sort(candidates.begin(), candidates.end(), [&](int32_t a, int32_t b) {
-    return DistanceSquared(network_.coord(taxi(a).location), origin) <
-           DistanceSquared(network_.coord(taxi(b).location), origin);
-  });
 
   // T-Share's signature is first-valid (not arg-min), with route planning
   // inside the loop: the scan usually stops after one or two candidates, so
@@ -59,11 +69,17 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
   for (int32_t id : candidates) {
     const TaxiState& t = taxi(id);
     ++outcome.candidates;
-    Seconds approach = oracle_->Cost(t.location, request.origin);
-    if (now + approach > request.PickupDeadline()) continue;
-    InsertionResult ins = FindBestInsertionDp(t.schedule, request, t.location,
-                                            now, t.onboard, t.capacity,
-                                            OracleCost());
+    {
+      ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+      Seconds approach = oracle_->Cost(t.location, request.origin);
+      if (now + approach > request.PickupDeadline()) continue;
+    }
+    InsertionResult ins;
+    {
+      ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
+      ins = FindBestInsertionDp(t.schedule, request, t.location, now,
+                                t.onboard, t.capacity, OracleCost());
+    }
     if (!ins.found) continue;
     RoutePlanner::PlannedRoute route =
         PlanShortestRoute(t.location, now, ins.schedule);

@@ -77,6 +77,8 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   for (const TaxiState& t : *fleet_) income += t.income;
   metrics_.total_driver_income = income;
   metrics_.execution_seconds = run_timer.ElapsedSeconds();
+  metrics_.phases = dispatcher_->phase_timers();
+  metrics_.FinalizeDistributions();
   return std::move(metrics_);
 }
 
@@ -208,6 +210,9 @@ void SimulationEngine::CheckOfflineEncounters(TaxiState& taxi, Seconds now) {
     DispatchOutcome outcome =
         dispatcher_->TryServeEncountered(r, taxi.id, now);
     if (!outcome.assigned) {
+      // Rejected probes still burned dispatcher (phase) time; book it so
+      // the phase breakdown reconciles against total dispatch time.
+      metrics_.offline_probe_ms += response_timer.ElapsedMillis();
       ++i;
       continue;
     }

@@ -83,6 +83,37 @@ double Metrics::TotalSharedFares() const {
   return total;
 }
 
+void Metrics::FinalizeDistributions() {
+  response_hist_.Clear();
+  waiting_hist_.Clear();
+  detour_hist_.Clear();
+  candidates_hist_.Clear();
+  for (const auto& r : records_) {
+    // Response time exists for every online request and for offline
+    // requests that were actually served at an encounter (mirrors
+    // MeanResponseMs, which reports the online population).
+    if (!r.offline) {
+      response_hist_.Record(r.response_ms);
+      candidates_hist_.Record(r.candidates);
+    } else if (r.assigned) {
+      response_hist_.Record(r.response_ms);
+    }
+    if (r.completed) {
+      waiting_hist_.Record((r.pickup_time - r.release_time) / 60.0);
+      double detour = (r.dropoff_time - r.pickup_time) - r.direct_cost;
+      detour_hist_.Record(std::max(0.0, detour) / 60.0);
+    }
+  }
+}
+
+double Metrics::TotalDispatchMs() const {
+  double total = offline_probe_ms;
+  for (const auto& r : records_) {
+    if (!r.offline || r.assigned) total += r.response_ms;
+  }
+  return total;
+}
+
 double Metrics::MeanFareSaving() const {
   SummaryStats s;
   for (const auto& r : records_) {

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "demand/request.h"
+#include "matching/phase_timers.h"
 
 namespace mtshare {
 
@@ -62,6 +64,24 @@ class Metrics {
   /// Mean relative fare saving over served requests.
   double MeanFareSaving() const;
 
+  // --- observability (run report) ---
+  /// Rebuilds the latency/quality histograms below from the per-request
+  /// records. The engine calls this at run end; callers that mutate
+  /// records afterwards can call it again.
+  void FinalizeDistributions();
+  /// Dispatcher wall-clock over every measured decision: online dispatches
+  /// plus offline encounter attempts (served and rejected). This is the
+  /// total the per-phase breakdown is reconciled against.
+  double TotalDispatchMs() const;
+  /// Per-request dispatcher latency, ms (online + served offline).
+  const LatencyHistogram& response_hist() const { return response_hist_; }
+  /// Pickup wait, minutes, served requests.
+  const LatencyHistogram& waiting_hist() const { return waiting_hist_; }
+  /// Extra in-vehicle time vs. direct, minutes, served requests.
+  const LatencyHistogram& detour_hist() const { return detour_hist_; }
+  /// Candidate-set sizes over online requests (Table III tails).
+  const LatencyHistogram& candidates_hist() const { return candidates_hist_; }
+
   /// Index memory reported by the dispatcher at run end (Table IV).
   size_t index_memory_bytes = 0;
   /// Distance-oracle traffic during the run (deltas of the shared oracle's
@@ -74,9 +94,19 @@ class Metrics {
   double total_driver_income = 0.0;
   /// Wall-clock seconds of the whole run (paper Fig. 21a).
   double execution_seconds = 0.0;
+  /// Per-phase dispatch-time breakdown harvested from the dispatcher at
+  /// run end (candidate search / filter / insertion / routing).
+  PhaseTimers phases;
+  /// Dispatcher time spent probing offline encounters that were *not*
+  /// served — measured by the engine but attached to no request record.
+  double offline_probe_ms = 0.0;
 
  private:
   std::vector<RequestRecord> records_;
+  LatencyHistogram response_hist_ = LatencyHistogram::ForLatencyMs();
+  LatencyHistogram waiting_hist_ = LatencyHistogram::ForMinutes();
+  LatencyHistogram detour_hist_ = LatencyHistogram::ForMinutes();
+  LatencyHistogram candidates_hist_ = LatencyHistogram::ForCounts();
 };
 
 }  // namespace mtshare

@@ -1,0 +1,238 @@
+#include "sim/run_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "matching/phase_timers.h"
+
+namespace mtshare {
+namespace {
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Minimal structured JSON emitter: tracks nesting depth and whether the
+/// current container needs a separating comma. indent == 0 emits one line.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void BeginObject() {
+    Separate();
+    out_ += '{';
+    first_ = true;
+    ++depth_;
+  }
+  void EndObject() {
+    --depth_;
+    if (!first_) Newline();
+    out_ += '}';
+    first_ = false;
+  }
+  void Key(const std::string& name) {
+    Separate();
+    Newline();
+    out_ += '"' + EscapeJson(name) + "\":";
+    if (indent_ > 0) out_ += ' ';
+    pending_value_ = true;
+  }
+  void String(const std::string& v) { Raw('"' + EscapeJson(v) + '"'); }
+  void Double(double v) { Raw(Num(v)); }
+  void Int(int64_t v) { Raw(std::to_string(v)); }
+  void UInt(uint64_t v) { Raw(std::to_string(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Raw(const std::string& text) {
+    out_ += text;
+    pending_value_ = false;
+    first_ = false;
+  }
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;  // a key was just written; no comma
+      return;
+    }
+    if (!first_) out_ += ',';
+  }
+  void Newline() {
+    if (indent_ == 0) return;
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+  }
+
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_value_ = false;
+  std::string out_;
+};
+
+void EmitDistribution(JsonWriter& w, const std::string& name,
+                      const LatencyHistogram& h) {
+  w.Key(name);
+  w.BeginObject();
+  w.Key("count");
+  w.Int(h.count());
+  w.Key("mean");
+  w.Double(h.Mean());
+  w.Key("min");
+  w.Double(h.Min());
+  w.Key("p50");
+  w.Double(h.Percentile(0.50));
+  w.Key("p90");
+  w.Double(h.Percentile(0.90));
+  w.Key("p95");
+  w.Double(h.Percentile(0.95));
+  w.Key("p99");
+  w.Double(h.Percentile(0.99));
+  w.Key("max");
+  w.Double(h.Max());
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string RunReportJson(const RunReportContext& context, const Metrics& m,
+                          int indent) {
+  JsonWriter w(indent);
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("experiment");
+  w.String(context.experiment);
+  w.Key("scheme");
+  w.String(context.scheme);
+  w.Key("window");
+  w.String(context.window);
+  w.Key("num_taxis");
+  w.Int(context.num_taxis);
+  w.Key("num_requests");
+  w.Int(context.num_requests);
+  w.Key("seed");
+  w.UInt(context.seed);
+
+  w.Key("requests");
+  w.BeginObject();
+  w.Key("total");
+  w.Int(m.TotalRequests());
+  w.Key("served");
+  w.Int(m.ServedRequests());
+  w.Key("served_online");
+  w.Int(m.ServedOnline());
+  w.Key("served_offline");
+  w.Int(m.ServedOffline());
+  w.EndObject();
+
+  EmitDistribution(w, "response_ms", m.response_hist());
+  EmitDistribution(w, "waiting_min", m.waiting_hist());
+  EmitDistribution(w, "detour_min", m.detour_hist());
+  EmitDistribution(w, "candidates", m.candidates_hist());
+
+  // Per-phase dispatch breakdown, reconciled against the engine's total
+  // dispatcher wall-clock: attributed_ms + unattributed_ms ==
+  // dispatch_total_ms (the residual is glue and index bookkeeping between
+  // the instrumented sections — or timing disabled, in which case every
+  // phase reads zero).
+  const double attributed_ms = m.phases.total_seconds() * 1e3;
+  const double total_ms = m.TotalDispatchMs();
+  w.Key("phases");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Int(m.phases.enabled ? 1 : 0);
+  for (size_t i = 0; i < kNumDispatchPhases; ++i) {
+    w.Key(DispatchPhaseName(static_cast<DispatchPhase>(i)));
+    w.BeginObject();
+    w.Key("ms");
+    w.Double(m.phases.seconds[i] * 1e3);
+    w.Key("calls");
+    w.Int(m.phases.calls[i]);
+    w.EndObject();
+  }
+  w.Key("attributed_ms");
+  w.Double(attributed_ms);
+  w.Key("dispatch_total_ms");
+  w.Double(total_ms);
+  w.Key("unattributed_ms");
+  w.Double(total_ms - attributed_ms);
+  w.Key("offline_probe_ms");
+  w.Double(m.offline_probe_ms);
+  w.EndObject();
+
+  w.Key("oracle");
+  w.BeginObject();
+  w.Key("queries");
+  w.Int(m.oracle_queries);
+  w.Key("row_hits");
+  w.Int(m.oracle_row_hits);
+  w.Key("row_misses");
+  w.Int(m.oracle_row_misses);
+  w.EndObject();
+
+  w.Key("index_memory_bytes");
+  w.UInt(m.index_memory_bytes);
+  w.Key("total_driver_income");
+  w.Double(m.total_driver_income);
+  w.Key("execution_seconds");
+  w.Double(m.execution_seconds);
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteRunReport(const std::string& path,
+                      const RunReportContext& context, const Metrics& m) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write run report: " + path);
+  out << RunReportJson(context, m, /*indent=*/2) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("short write to run report: " + path);
+  return Status::OK();
+}
+
+Status AppendRunReportLine(const std::string& path,
+                           const RunReportContext& context, const Metrics& m) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::IoError("cannot append run report: " + path);
+  out << RunReportJson(context, m, /*indent=*/0) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("short write to run report: " + path);
+  return Status::OK();
+}
+
+}  // namespace mtshare

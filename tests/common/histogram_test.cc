@@ -1,0 +1,152 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace mtshare {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h = LatencyHistogram::ForLatencyMs();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesOfKnownUniformDistribution) {
+  // 1..1000 uniformly: p should sit near p * 1000 with a relative error
+  // bounded by one geometric bucket (the documented resolution contract).
+  LatencyHistogram h(1.0, 1e4, 256);
+  for (int v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+  EXPECT_NEAR(h.Mean(), 500.5, 1e-9);  // sum is exact, not bucketed
+  const double ratio = 1.08;  // > one bucket growth factor at 256 bins
+  for (double p : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    double expect = p * 1000.0;
+    double got = h.Percentile(p);
+    EXPECT_LE(got, expect * ratio) << "p=" << p;
+    EXPECT_GE(got, expect / ratio) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h = LatencyHistogram::ForLatencyMs();
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> latency(0.0, 2.0);
+  for (int i = 0; i < 5000; ++i) h.Record(latency(rng));
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(1.0), h.Max() + 1e-12);
+  EXPECT_GE(h.Percentile(0.0), h.Min() - 1e-12);
+}
+
+TEST(LatencyHistogramTest, BoundaryValuesLandInConsistentBuckets) {
+  LatencyHistogram h(1.0, 1000.0, 30);
+  // Values on and around every bucket edge must land in a bucket whose
+  // [low, high) span actually contains them (log round-off guard).
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    double edges[] = {h.BucketLow(i), h.BucketHigh(i) * (1 - 1e-12)};
+    for (double v : edges) {
+      if (v <= 0.0) continue;
+      LatencyHistogram probe(1.0, 1000.0, 30);
+      probe.Record(v);
+      for (size_t b = 0; b < probe.num_buckets(); ++b) {
+        if (probe.bucket_count(b) == 0) continue;
+        EXPECT_LE(probe.BucketLow(b), v);
+        if (b + 1 < probe.num_buckets()) {
+          EXPECT_LT(v, probe.BucketHigh(b) * (1 + 1e-9));
+        }
+      }
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, NegativeAndOverflowSamples) {
+  LatencyHistogram h(1.0, 100.0, 10);
+  h.Record(-5.0);   // clamps to 0, lands in [0, lo)
+  h.Record(1e9);    // lands in [hi, inf)
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 1);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1e9);
+  // The overflow bucket interpolates toward the observed max, never past.
+  EXPECT_LE(h.Percentile(0.99), 1e9);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleRecorder) {
+  // Samples split across per-thread recorders then merged must reproduce
+  // the single-recorder distribution exactly (same counters, same
+  // percentile answers) — the contract that makes cross-thread
+  // aggregation safe.
+  const int kThreads = 4;
+  const int kPerThread = 4000;
+  LatencyHistogram reference = LatencyHistogram::ForLatencyMs();
+  std::vector<LatencyHistogram> parts(
+      kThreads, LatencyHistogram::ForLatencyMs());
+  std::vector<std::vector<double>> samples(kThreads);
+  std::mt19937 rng(42);
+  std::gamma_distribution<double> latency(2.0, 3.0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      samples[t].push_back(latency(rng));
+    }
+  }
+  for (const auto& chunk : samples) {
+    for (double v : chunk) reference.Record(v);
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (double v : samples[t]) parts[t].Record(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LatencyHistogram merged = LatencyHistogram::ForLatencyMs();
+  for (const auto& part : parts) merged.Merge(part);
+
+  EXPECT_EQ(merged.count(), reference.count());
+  // Summation order differs (4 partial sums vs one long chain), so the
+  // totals agree only to floating-point round-off.
+  EXPECT_NEAR(merged.sum(), reference.sum(), 1e-9 * reference.sum());
+  EXPECT_DOUBLE_EQ(merged.Min(), reference.Min());
+  EXPECT_DOUBLE_EQ(merged.Max(), reference.Max());
+  for (size_t i = 0; i < merged.num_buckets(); ++i) {
+    ASSERT_EQ(merged.bucket_count(i), reference.bucket_count(i)) << i;
+  }
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), reference.Percentile(p)) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyAndFromEmpty) {
+  LatencyHistogram a = LatencyHistogram::ForMinutes();
+  LatencyHistogram b = LatencyHistogram::ForMinutes();
+  b.Record(3.0);
+  b.Record(9.0);
+  a.Merge(b);  // into empty: adopts min/max
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.Min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 9.0);
+  LatencyHistogram empty = LatencyHistogram::ForMinutes();
+  a.Merge(empty);  // from empty: unchanged
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.Min(), 3.0);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +56,75 @@ TEST(ShardedLruTest, ShardCountClampsToCapacity) {
   EXPECT_EQ(mid.num_shards(), 8u);
   ShardedLruCache<int, int> big(/*capacity=*/64, /*num_shards=*/16);
   EXPECT_EQ(big.num_shards(), 16u);
+}
+
+TEST(ShardedLruTest, CapacitySumsToBudgetForNonDivisibleShardCounts) {
+  // Regression: capacity / shards truncation used to drop the remainder —
+  // a 20-entry budget over 16 shards held only 16 rows. Every shard gets
+  // the floor share and the first capacity % shards one extra.
+  struct Case {
+    size_t capacity;
+    size_t shards;
+  };
+  for (Case c : {Case{20, 16}, Case{7, 3}, Case{100, 16}, Case{17, 4},
+                 Case{16, 16}, Case{1, 1}}) {
+    ShardedLruCache<int, int> cache(c.capacity, c.shards);
+    EXPECT_EQ(cache.capacity(), c.capacity)
+        << "capacity=" << c.capacity << " shards=" << c.shards;
+  }
+}
+
+TEST(ShardedLruTest, NonDivisibleBudgetIsActuallyUsable) {
+  // 7 entries over 3 shards: whatever the key→shard spread, the cache can
+  // never hold more than 7 rows, and with single-shard keys the odd shard
+  // really holds its 3 (= 2 + 1 extra) rows.
+  ShardedLruCache<size_t, int> cache(/*capacity=*/7, /*num_shards=*/3);
+  EXPECT_EQ(cache.capacity(), 7u);
+  auto compute = [](const size_t& k) { return static_cast<int>(k); };
+  for (size_t k = 0; k < 1000; ++k) cache.GetOrCompute(k, compute);
+  EXPECT_LE(cache.size(), 7u);
+  EXPECT_GE(cache.size(), 1u);
+}
+
+TEST(ShardedLruTest, ThrowingComputeLeavesShardConsistent) {
+  // Regression: the key used to be linked into the recency list before
+  // compute ran, so a throwing compute orphaned a recency entry; the next
+  // insert of the same key then duplicated it and the shard overflowed
+  // its capacity. The exception must propagate and leave no trace.
+  ShardedLruCache<int, std::string> cache(/*capacity=*/2, /*num_shards=*/1);
+  std::atomic<int> attempts{0};
+  auto flaky = [&](const int& k) -> std::string {
+    if (attempts.fetch_add(1) == 0) throw std::runtime_error("transient");
+    return std::to_string(k);
+  };
+  EXPECT_THROW(cache.GetOrCompute(9, flaky), std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // nothing half-inserted
+  // The same key computes cleanly on retry — exactly one cached copy.
+  EXPECT_EQ(*cache.GetOrCompute(9, flaky), "9");
+  EXPECT_EQ(*cache.GetOrCompute(9, flaky), "9");
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Interleave throwing and succeeding inserts past capacity: size must
+  // never exceed the 2-entry budget and survivors stay retrievable.
+  std::atomic<bool> poison{false};
+  auto sometimes = [&](const int& k) -> std::string {
+    if (poison.load()) throw std::runtime_error("poisoned");
+    return std::to_string(k);
+  };
+  for (int k = 0; k < 12; ++k) {
+    poison.store(k % 3 == 2);
+    if (k % 3 == 2) {
+      EXPECT_THROW(cache.GetOrCompute(100 + k, sometimes),
+                   std::runtime_error);
+    } else {
+      EXPECT_EQ(*cache.GetOrCompute(100 + k, sometimes),
+                std::to_string(100 + k));
+    }
+    EXPECT_LE(cache.size(), 2u) << "k=" << k;
+  }
+  poison.store(false);
+  EXPECT_EQ(*cache.GetOrCompute(110, sometimes), "110");  // k=10 survivor: hit
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ShardedLruTest, EvictedValueSurvivesViaSharedPtr) {

@@ -1,0 +1,264 @@
+#include "sim/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/mtshare_system.h"
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+/// Pulls the numeric value of `"key":` out of raw JSON text, searching from
+/// the first occurrence of `section` (pass "" for top-level keys). Enough
+/// of a parser for schema validation without a JSON dependency.
+double NumberAfter(const std::string& json, const std::string& section,
+                   const std::string& key) {
+  size_t from = 0;
+  if (!section.empty()) {
+    from = json.find("\"" + section + "\"");
+    EXPECT_NE(from, std::string::npos) << "missing section " << section;
+    if (from == std::string::npos) return 0.0;
+  }
+  size_t at = json.find("\"" + key + "\":", from);
+  EXPECT_NE(at, std::string::npos)
+      << "missing key " << key << " in section " << section;
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + key.size() + 3, nullptr);
+}
+
+bool HasKey(const std::string& json, const std::string& key) {
+  return json.find("\"" + key + "\":") != std::string::npos;
+}
+
+void ValidateReportSchema(const std::string& json) {
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 1.0);
+  for (const char* key :
+       {"experiment", "scheme", "window", "num_taxis", "num_requests",
+        "seed", "requests", "response_ms", "waiting_min", "detour_min",
+        "candidates", "phases", "oracle", "index_memory_bytes",
+        "total_driver_income", "execution_seconds"}) {
+    EXPECT_TRUE(HasKey(json, key)) << "missing top-level key " << key;
+  }
+
+  // Percentiles must be monotone within every distribution.
+  for (const char* dist :
+       {"response_ms", "waiting_min", "detour_min", "candidates"}) {
+    double mn = NumberAfter(json, dist, "min");
+    double p50 = NumberAfter(json, dist, "p50");
+    double p90 = NumberAfter(json, dist, "p90");
+    double p95 = NumberAfter(json, dist, "p95");
+    double p99 = NumberAfter(json, dist, "p99");
+    double mx = NumberAfter(json, dist, "max");
+    EXPECT_LE(mn, p50) << dist;
+    EXPECT_LE(p50, p90) << dist;
+    EXPECT_LE(p90, p95) << dist;
+    EXPECT_LE(p95, p99) << dist;
+    EXPECT_LE(p99, mx * (1 + 1e-9)) << dist;
+  }
+
+  // Phase accounting reconciles with the engine's dispatch wall-clock:
+  // phases are timed strictly inside the per-request response timers, so
+  // their sum can never exceed the total by more than timer read noise.
+  double attributed = NumberAfter(json, "phases", "attributed_ms");
+  double total = NumberAfter(json, "phases", "dispatch_total_ms");
+  double unattributed = NumberAfter(json, "phases", "unattributed_ms");
+  EXPECT_GE(attributed, 0.0);
+  EXPECT_GE(total, 0.0);
+  EXPECT_NEAR(attributed + unattributed, total, 1e-3 * (1.0 + total));
+  if (NumberAfter(json, "phases", "enabled") == 1.0) {
+    EXPECT_LE(attributed, total * 1.15 + 5.0);
+    double phase_sum = 0.0;
+    for (const char* phase :
+         {"candidate_search", "filter", "insertion", "routing"}) {
+      double ms = NumberAfter(json, phase, "ms");
+      EXPECT_GE(ms, 0.0) << phase;
+      phase_sum += ms;
+    }
+    EXPECT_NEAR(phase_sum, attributed, 1e-3 * (1.0 + attributed));
+  }
+}
+
+class RunReportTest : public ::testing::Test {
+ protected:
+  RunReportTest() {
+    GridCityOptions gopt;
+    gopt.rows = 14;
+    gopt.cols = 14;
+    gopt.seed = 33;
+    net_ = MakeGridCity(gopt);
+    demand_ = std::make_unique<DemandModel>(net_, DemandModelOptions{});
+    oracle_ = std::make_unique<DistanceOracle>(net_);
+
+    ScenarioOptions sopt;
+    sopt.num_requests = 150;
+    sopt.num_historical_trips = 2500;
+    sopt.offline_fraction = 0.2;
+    scenario_ = MakeScenario(net_, *demand_, *oracle_, sopt);
+
+    config_.kappa = 16;
+    config_.kt = 5;
+    system_ = std::make_unique<MTShareSystem>(
+        net_, scenario_.HistoricalOdPairs(), config_);
+  }
+
+  Metrics RunWithTiming(SchemeKind scheme) {
+    ScenarioSpec spec;
+    spec.scheme = scheme;
+    spec.requests = &scenario_.requests;
+    spec.num_taxis = 25;
+    spec.collect_phase_timing = true;
+    Result<Metrics> r = system_->RunScenario(spec);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  RunReportContext Context() {
+    RunReportContext ctx;
+    ctx.experiment = "run_report_test";
+    ctx.scheme = "mT-Share";
+    ctx.window = "peak";
+    ctx.num_taxis = 25;
+    ctx.num_requests = static_cast<int32_t>(scenario_.requests.size());
+    ctx.seed = 33;
+    return ctx;
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<DemandModel> demand_;
+  std::unique_ptr<DistanceOracle> oracle_;
+  Scenario scenario_;
+  SystemConfig config_;
+  std::unique_ptr<MTShareSystem> system_;
+};
+
+TEST_F(RunReportTest, SchemaIsValidForEveryScheme) {
+  for (SchemeKind scheme :
+       {SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
+        SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
+    Metrics m = RunWithTiming(scheme);
+    std::string json = RunReportJson(Context(), m);
+    SCOPED_TRACE(SchemeName(scheme));
+    ValidateReportSchema(json);
+    EXPECT_EQ(NumberAfter(json, "phases", "enabled"), 1.0);
+    // Something actually dispatched, so at least one phase saw calls.
+    double calls = 0.0;
+    for (const char* phase :
+         {"candidate_search", "filter", "insertion", "routing"}) {
+      calls += NumberAfter(json, phase, "calls");
+    }
+    EXPECT_GT(calls, 0.0);
+  }
+}
+
+TEST_F(RunReportTest, DisabledTimingReportsZeroPhases) {
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario_.requests;
+  spec.num_taxis = 25;
+  spec.collect_phase_timing = false;
+  Result<Metrics> r = system_->RunScenario(spec);
+  ASSERT_TRUE(r.ok());
+  std::string json = RunReportJson(Context(), r.value());
+  EXPECT_EQ(NumberAfter(json, "phases", "enabled"), 0.0);
+  EXPECT_EQ(NumberAfter(json, "phases", "attributed_ms"), 0.0);
+  ValidateReportSchema(json);
+}
+
+TEST_F(RunReportTest, SingleLineModeHasNoNewlines) {
+  Metrics m = RunWithTiming(SchemeKind::kMtShare);
+  std::string line = RunReportJson(Context(), m, /*indent=*/0);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  ValidateReportSchema(line);
+  // Pretty and single-line renderings agree once whitespace is dropped.
+  std::string pretty = RunReportJson(Context(), m, /*indent=*/2);
+  std::string squashed;
+  for (char c : pretty) {
+    if (c != '\n' && c != ' ') squashed += c;
+  }
+  std::string line_squashed;
+  for (char c : line) {
+    if (c != ' ') line_squashed += c;
+  }
+  EXPECT_EQ(squashed, line_squashed);
+}
+
+TEST_F(RunReportTest, EscapesStringsAndAppendsLines) {
+  Metrics m = RunWithTiming(SchemeKind::kNoSharing);
+  RunReportContext ctx = Context();
+  ctx.experiment = "quo\"te\\back\nline";
+  std::string json = RunReportJson(ctx, m);
+  EXPECT_NE(json.find("quo\\\"te\\\\back\\nline"), std::string::npos);
+
+  std::string path = testing::TempDir() + "mtshare_run_report_append.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendRunReportLine(path, Context(), m).ok());
+  ASSERT_TRUE(AppendRunReportLine(path, Context(), m).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    ValidateReportSchema(line);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(RunReportTest, WriteRunReportFailsOnBadPath) {
+  Metrics m = RunWithTiming(SchemeKind::kNoSharing);
+  Status s = WriteRunReport("/nonexistent-dir/report.json", Context(), m);
+  EXPECT_FALSE(s.ok());
+}
+
+#ifdef MTSHARE_SIM_BINARY
+
+int RunCommand(const std::string& command) {
+  int rc = std::system(command.c_str());
+  return rc < 0 ? rc : WEXITSTATUS(rc);
+}
+
+TEST(MtshareSimCliTest, ReportFlagEmitsValidJson) {
+  std::string path = testing::TempDir() + "mtshare_sim_cli_report.json";
+  std::remove(path.c_str());
+  std::string cmd = std::string(MTSHARE_SIM_BINARY) +
+                    " --scheme=mt-share --rows=14 --cols=14 --taxis=20"
+                    " --requests=120 --report=" + path + " > /dev/null";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "report file missing: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  ValidateReportSchema(json);
+  EXPECT_EQ(NumberAfter(json, "", "num_taxis"), 20.0);
+  EXPECT_EQ(NumberAfter(json, "", "num_requests"), 120.0);
+  EXPECT_EQ(NumberAfter(json, "phases", "enabled"), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(MtshareSimCliTest, RejectsMalformedNumericFlags) {
+  // Regression: "--taxis=abc" used to atoi to 0 and run an empty fleet.
+  for (const char* flag : {"--taxis=abc", "--requests=12x", "--rho=",
+                           "--threads=-2", "--seed=4 2"}) {
+    std::string cmd = std::string(MTSHARE_SIM_BINARY) + " \"" +
+                      std::string(flag) + "\" > /dev/null 2>&1";
+    EXPECT_EQ(RunCommand(cmd), 2) << flag;
+  }
+}
+
+#endif  // MTSHARE_SIM_BINARY
+
+}  // namespace
+}  // namespace mtshare

@@ -22,15 +22,20 @@
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
 //   --per-request  write a per-request CSV record here
+//   --report       write a structured JSON run report here (percentiles,
+//                  per-phase dispatch breakdown; see EXPERIMENTS.md)
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "common/string_util.h"
 #include "core/mtshare_system.h"
 #include "graph/graph_generators.h"
 #include "graph/graph_io.h"
+#include "sim/run_report.h"
 
 using namespace mtshare;
 
@@ -57,10 +62,37 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv,
   return args;
 }
 
+/// Strict numeric flag lookup: malformed values ("abc", "12x", "") are a
+/// hard error instead of silently becoming 0 via atoi-style parsing.
 double GetD(const std::map<std::string, std::string>& args,
-            const std::string& key, double fallback) {
+            const std::string& key, double fallback, bool* ok) {
   auto it = args.find(key);
-  return it == args.end() ? fallback : std::stod(it->second);
+  if (it == args.end()) return fallback;
+  double value = 0.0;
+  if (!ParseDouble(Trim(it->second), &value)) {
+    std::fprintf(stderr, "invalid numeric value for --%s: '%s'\n",
+                 key.c_str(), it->second.c_str());
+    *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
+/// Strict non-negative integer flag (counts: taxis, requests, threads...).
+int32_t GetCount(const std::map<std::string, std::string>& args,
+                 const std::string& key, int32_t fallback, bool* ok) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  int64_t value = 0;
+  if (!ParseInt64(Trim(it->second), &value) || value < 0 ||
+      value > INT32_MAX) {
+    std::fprintf(stderr,
+                 "invalid value for --%s: '%s' (want an integer >= 0)\n",
+                 key.c_str(), it->second.c_str());
+    *ok = false;
+    return fallback;
+  }
+  return static_cast<int32_t>(value);
 }
 
 std::string GetS(const std::map<std::string, std::string>& args,
@@ -85,11 +117,42 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool peak = GetS(args, "window", "peak") == "peak";
-  const uint64_t seed = uint64_t(GetD(args, "seed", 42));
+  const uint64_t seed = uint64_t(GetD(args, "seed", 42, &ok));
 
   // City: generated or loaded.
   RoadNetwork network;
   std::string network_file = GetS(args, "network", "");
+  GridCityOptions gopt;
+  gopt.rows = GetCount(args, "rows", 48, &ok);
+  gopt.cols = GetCount(args, "cols", 48, &ok);
+  gopt.seed = seed;
+
+  SystemConfig config;
+  config.kappa = GetCount(args, "kappa", 120, &ok);
+  config.kt = std::min<int32_t>(config.kappa, 20);
+  config.rho = GetD(args, "rho", 1.3, &ok);
+  config.taxi_capacity = GetCount(args, "capacity", 3, &ok);
+  config.matching.gamma_max_m = GetD(args, "gamma", 2500.0, &ok);
+  config.seed = seed;
+
+  ScenarioOptions sopt;
+  sopt.t_begin = (peak ? 8 : 10) * 3600.0;
+  sopt.t_end = sopt.t_begin + 3600.0;
+  sopt.num_requests = GetCount(args, "requests", 1500, &ok);
+  sopt.offline_fraction = GetD(args, "offline", peak ? 0.0 : 0.32, &ok);
+  sopt.rho = config.rho;
+  sopt.seed = seed + 2;
+
+  const int32_t num_taxis = GetCount(args, "taxis", 150, &ok);
+  const int32_t num_threads = GetCount(args, "threads", 1, &ok);
+  if (!ok) return 2;  // every malformed flag already printed its error
+
+  Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
   if (!network_file.empty()) {
     Result<RoadNetwork> loaded = LoadEdgeList(network_file);
     if (!loaded.ok()) {
@@ -100,24 +163,7 @@ int main(int argc, char** argv) {
     network = std::move(loaded).value();
     network = ExtractLargestScc(network);
   } else {
-    GridCityOptions gopt;
-    gopt.rows = int32_t(GetD(args, "rows", 48));
-    gopt.cols = int32_t(GetD(args, "cols", 48));
-    gopt.seed = seed;
     network = MakeGridCity(gopt);
-  }
-
-  SystemConfig config;
-  config.kappa = int32_t(GetD(args, "kappa", 120));
-  config.kt = std::min<int32_t>(config.kappa, 20);
-  config.rho = GetD(args, "rho", 1.3);
-  config.taxi_capacity = int32_t(GetD(args, "capacity", 3));
-  config.matching.gamma_max_m = GetD(args, "gamma", 2500.0);
-  config.seed = seed;
-  Status valid = config.Validate();
-  if (!valid.ok()) {
-    std::fprintf(stderr, "bad configuration: %s\n", valid.ToString().c_str());
-    return 2;
   }
 
   DemandModelOptions dopt;
@@ -126,13 +172,6 @@ int main(int argc, char** argv) {
   DemandModel demand(network, dopt);
   DistanceOracle oracle(network);
 
-  ScenarioOptions sopt;
-  sopt.t_begin = (peak ? 8 : 10) * 3600.0;
-  sopt.t_end = sopt.t_begin + 3600.0;
-  sopt.num_requests = int32_t(GetD(args, "requests", 1500));
-  sopt.offline_fraction = GetD(args, "offline", peak ? 0.0 : 0.32);
-  sopt.rho = config.rho;
-  sopt.seed = seed + 2;
   Scenario scenario = MakeScenario(network, demand, oracle, sopt);
 
   auto system =
@@ -144,9 +183,9 @@ int main(int argc, char** argv) {
   ScenarioSpec spec;
   spec.scheme = *scheme;
   spec.requests = &scenario.requests;
-  spec.num_taxis = int32_t(GetD(args, "taxis", 150));
+  spec.num_taxis = num_taxis;
   spec.fleet_seed = seed + 3;
-  spec.num_threads = int32_t(GetD(args, "threads", 1));
+  spec.num_threads = num_threads;
   Result<Metrics> run = system.value()->RunScenario(spec);
   if (!run.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
@@ -165,6 +204,23 @@ int main(int argc, char** argv) {
   std::printf("fare_saving=%.1f%% driver_income=%.0f exec_s=%.2f\n",
               m.MeanFareSaving() * 100.0, m.total_driver_income,
               m.execution_seconds);
+
+  std::string report_path = GetS(args, "report", "");
+  if (!report_path.empty()) {
+    RunReportContext ctx;
+    ctx.experiment = "mtshare_sim";
+    ctx.scheme = SchemeName(*scheme);
+    ctx.window = peak ? "peak" : "nonpeak";
+    ctx.num_taxis = spec.num_taxis;
+    ctx.num_requests = static_cast<int32_t>(scenario.requests.size());
+    ctx.seed = seed;
+    Status written = WriteRunReport(report_path, ctx, m);
+    if (!written.ok()) {
+      std::fprintf(stderr, "report: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("run report written to %s\n", report_path.c_str());
+  }
 
   std::string per_request = GetS(args, "per-request", "");
   if (!per_request.empty()) {

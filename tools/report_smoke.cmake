@@ -1,0 +1,23 @@
+# Smoke-runs mtshare_sim with --report and asserts the JSON lands with the
+# expected schema marker. Invoked by the mtshare_sim_report_smoke ctest;
+# needs -DSIM_BINARY=... and -DREPORT_PATH=...
+file(REMOVE "${REPORT_PATH}")
+execute_process(
+  COMMAND "${SIM_BINARY}" --scheme=mt-share --rows=12 --cols=12
+          --taxis=15 --requests=80 --report=${REPORT_PATH}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mtshare_sim --report exited ${rc}\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${REPORT_PATH}")
+  message(FATAL_ERROR "report file was not written: ${REPORT_PATH}")
+endif()
+file(READ "${REPORT_PATH}" report)
+foreach(key "schema_version" "response_ms" "p95" "phases" "dispatch_total_ms")
+  if(NOT report MATCHES "\"${key}\"")
+    message(FATAL_ERROR "report missing key '${key}':\n${report}")
+  endif()
+endforeach()
+file(REMOVE "${REPORT_PATH}")
