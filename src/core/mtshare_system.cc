@@ -115,12 +115,18 @@ std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
     case SchemeKind::kNoSharing:
       return std::make_unique<NoSharingDispatcher>(network_, oracle_.get(),
                                                    fleet, mc);
-    case SchemeKind::kTShare:
-      return std::make_unique<TShareDispatcher>(network_, oracle_.get(),
-                                                fleet, mc);
-    case SchemeKind::kPGreedyDp:
-      return std::make_unique<PGreedyDpDispatcher>(network_, oracle_.get(),
-                                                   fleet, mc);
+    case SchemeKind::kTShare: {
+      auto d = std::make_unique<TShareDispatcher>(network_, oracle_.get(),
+                                                  fleet, mc);
+      d->EnableLowerBoundPruning(landmarks_.get());
+      return d;
+    }
+    case SchemeKind::kPGreedyDp: {
+      auto d = std::make_unique<PGreedyDpDispatcher>(network_, oracle_.get(),
+                                                     fleet, mc);
+      d->EnableLowerBoundPruning(landmarks_.get());
+      return d;
+    }
     case SchemeKind::kMtShare:
       mc.probabilistic = false;
       return std::make_unique<MtShareDispatcher>(network_, oracle_.get(),

@@ -7,7 +7,7 @@ namespace mtshare {
 double DirectionCosine(const Point& u, const Point& v) {
   double nu = std::sqrt(u.x * u.x + u.y * u.y);
   double nv = std::sqrt(v.x * v.x + v.y * v.y);
-  if (nu <= 0.0 || nv <= 0.0) return 1.0;
+  if (nu <= 0.0 || nv <= 0.0) return 0.0;
   return (u.x * v.x + u.y * v.y) / (nu * nv);
 }
 
@@ -26,7 +26,7 @@ double CosineSimilarityRaw4d(const MobilityVector& a,
   double nb = std::sqrt(b.origin.x * b.origin.x + b.origin.y * b.origin.y +
                         b.destination.x * b.destination.x +
                         b.destination.y * b.destination.y);
-  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / (na * nb);
 }
 

@@ -37,8 +37,10 @@ double DirectionCosine(const MobilityVector& a, const MobilityVector& b);
 /// library does not use it internally.
 double CosineSimilarityRaw4d(const MobilityVector& a, const MobilityVector& b);
 
-/// Cosine between two planar vectors; 1.0 when either has zero length
-/// (a degenerate trip imposes no direction constraint).
+/// Cosine between two planar vectors; 0.0 (incompatible) when either has
+/// zero length — a degenerate trip has no direction, so it cannot *share*
+/// one. Returning 1.0 here would admit origin == destination requests into
+/// every mobility cluster and past every direction filter.
 double DirectionCosine(const Point& u, const Point& v);
 
 }  // namespace mtshare

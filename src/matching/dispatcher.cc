@@ -11,7 +11,8 @@ Dispatcher::Dispatcher(const RoadNetwork& network, DistanceOracle* oracle,
       oracle_(oracle),
       fleet_(fleet),
       config_(config),
-      route_dijkstra_(network) {
+      route_dijkstra_(network),
+      batch_(network, oracle) {
   MTSHARE_CHECK(oracle != nullptr);
   MTSHARE_CHECK(fleet != nullptr);
 }
@@ -20,13 +21,63 @@ LegCostFn Dispatcher::OracleCost() {
   return [this](VertexId a, VertexId b) { return oracle_->Cost(a, b); };
 }
 
+LegCostFn Dispatcher::BatchedCost() {
+  return [this](VertexId a, VertexId b) { return batch_.Cost(a, b); };
+}
+
+void Dispatcher::RegisterCandidateStops(const TaxiState& t) {
+  batch_walk_buf_.clear();
+  batch_walk_buf_.push_back(t.location);
+  for (const ScheduleEvent& e : t.schedule.events()) {
+    batch_walk_buf_.push_back(e.vertex);
+  }
+  batch_.AddCandidate(batch_walk_buf_);
+}
+
+bool Dispatcher::LowerBoundPrunesPickup(VertexId taxi_location,
+                                        const RideRequest& r, Seconds now) {
+  if (lb_landmarks_ == nullptr) return false;
+  Seconds lb = lb_landmarks_->LowerBound(taxi_location, r.origin);
+  if (now + lb > r.PickupDeadline() + kLbSlack) {
+    ++lb_pruned_;
+    return true;
+  }
+  return false;
+}
+
 Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     const std::vector<TaxiId>& candidates, const RideRequest& request,
     Seconds now) {
   ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
   std::vector<InsertionResult> results(candidates.size());
-  LegCostFn cost = OracleCost();
+  // Lower-bound prune first (sequential, so the counter and the batch are
+  // thread-count invariant): a pruned candidate's pickup provably misses
+  // its deadline, so its DP could only return found == false — skip it and
+  // keep its stops out of the priming fan.
+  std::vector<uint8_t> skip(candidates.size(), 0);
+  if (lb_landmarks_ != nullptr) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (LowerBoundPrunesPickup(taxi(candidates[i]).location, request,
+                                 now)) {
+        skip[i] = 1;
+      }
+    }
+  }
+  LegCostFn cost;
+  if (config_.batched_routing) {
+    // Prime every leg the insertion walks can request with one-to-many
+    // passes, sequentially; workers then read the immutable table.
+    batch_.Begin(request.origin, request.destination);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!skip[i]) RegisterCandidateStops(taxi(candidates[i]));
+    }
+    batch_.Prime();
+    cost = BatchedCost();
+  } else {
+    cost = OracleCost();
+  }
   auto evaluate = [&](size_t i) {
+    if (skip[i]) return;  // results[i].found stays false
     const TaxiState& t = taxi(candidates[i]);
     results[i] = FindBestInsertionDp(t.schedule, request, t.location, now,
                                      t.onboard, t.capacity, cost);

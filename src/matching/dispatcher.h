@@ -11,8 +11,10 @@
 #include "demand/request.h"
 #include "matching/phase_timers.h"
 #include "matching/taxi_state.h"
+#include "partition/landmark_graph.h"
 #include "partition/map_partitioning.h"
 #include "routing/distance_oracle.h"
+#include "routing/one_to_many.h"
 #include "sched/route_planner.h"
 
 namespace mtshare {
@@ -49,6 +51,11 @@ struct MatchingConfig {
   bool match_all_compatible_clusters = true;
   /// Grid pitch of the baselines' spatial taxi index.
   double grid_cell_m = 500.0;
+  /// When true (default), insertion evaluation primes an InsertionCostBatch
+  /// (one-to-many row passes / truncated sweeps) instead of issuing one
+  /// oracle query per leg per candidate. Results are bit-identical either
+  /// way; the toggle exists for the equivalence test and A/B benches.
+  bool batched_routing = true;
 };
 
 /// What a matching scheme returns for one ride request.
@@ -144,6 +151,23 @@ class Dispatcher {
   /// Accumulated per-phase dispatch time (the run-report breakdown).
   const PhaseTimers& phase_timers() const { return phase_timers_; }
 
+  /// Arms landmark-triangle lower bounds: candidate taxis whose pickup is
+  /// provably unreachable before its deadline are skipped without exact
+  /// routing. Admissible (never exceeds the true cost, with an absolute
+  /// slack absorbing FP rounding), so outcomes are unchanged — only work
+  /// is saved. `landmarks` must outlive the dispatcher; null disarms.
+  void EnableLowerBoundPruning(const LandmarkGraph* landmarks) {
+    lb_landmarks_ = landmarks;
+  }
+
+  /// Batched-routing counters for Metrics / the run report.
+  BatchRoutingStats routing_stats() const {
+    BatchRoutingStats s = batch_.stats();
+    s.batched = config_.batched_routing;
+    s.lb_pruned = lb_pruned_;
+    return s;
+  }
+
  protected:
   /// Best feasible insertion over `candidates` for `request`: each
   /// candidate's FindBestInsertionDp runs on the pool when one is attached
@@ -161,6 +185,18 @@ class Dispatcher {
                                    const RideRequest& request, Seconds now);
   /// Oracle-backed leg cost function (the O(1) shortest-path assumption).
   LegCostFn OracleCost();
+  /// Leg costs served from the primed batch table (fallback: oracle).
+  LegCostFn BatchedCost();
+  /// Registers `t`'s insertion stop walk (location + schedule stops) with
+  /// the batch; call batch_.Prime() once all candidates are registered.
+  void RegisterCandidateStops(const TaxiState& t);
+  /// True (and counted) when the landmark lower bound proves the taxi
+  /// cannot reach the request origin by the pickup deadline. kLbSlack
+  /// absorbs floating-point triangle-inequality violations so the prune
+  /// can never disagree with the exact feasibility checks.
+  bool LowerBoundPrunesPickup(VertexId taxi_location, const RideRequest& r,
+                              Seconds now);
+  static constexpr Seconds kLbSlack = 1e-6;
 
   /// Materializes an unrestricted shortest-path route for a schedule.
   RoutePlanner::PlannedRoute PlanShortestRoute(VertexId start,
@@ -174,6 +210,12 @@ class Dispatcher {
   std::vector<TaxiState>* fleet_;
   MatchingConfig config_;
   DijkstraSearch route_dijkstra_;
+  /// Per-request leg-cost table primed by the batched routing layer.
+  InsertionCostBatch batch_;
+  /// Landmark lower bounds for candidate pruning (null = disabled).
+  const LandmarkGraph* lb_landmarks_ = nullptr;
+  int64_t lb_pruned_ = 0;
+  std::vector<VertexId> batch_walk_buf_;
   /// Per-phase dispatch time; schemes attribute their sections with
   /// ScopedPhaseTimer. Written only by the engine thread.
   PhaseTimers phase_timers_;

@@ -26,6 +26,7 @@ MtShareDispatcher::MtShareDispatcher(const RoadNetwork& network,
                                    config.prob_extra_slack}),
       index_(network, partitioning, config.lambda, config.tmp) {
   MTSHARE_CHECK(!config.probabilistic || transitions != nullptr);
+  EnableLowerBoundPruning(&landmarks);
   if (config.probabilistic) EnableIdleCruising(&partitioning_, &planner_);
   for (const TaxiState& t : *fleet_) index_.ReindexTaxi(t, t.location_time);
 }
@@ -104,7 +105,10 @@ std::vector<TaxiId> MtShareDispatcher::CandidateTaxis(
       if (!t.Idle() && !in_cluster.count(id)) continue;
       // Refinement rule 2: idle capacity.
       if (t.FreeSeats() < request.passengers) continue;
-      // Refinement rule 3, exact form: reachable before the pickup deadline.
+      // Refinement rule 3. The landmark lower bound settles most
+      // violations in O(1); only survivors pay the exact oracle check.
+      // The bound is admissible, so the surviving set is identical.
+      if (LowerBoundPrunesPickup(t.location, request, now)) continue;
       if (now + oracle_->Cost(t.location, request.origin) > pickup_deadline) {
         continue;
       }

@@ -65,20 +65,36 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
   // inside the loop: the scan usually stops after one or two candidates, so
   // unlike the arg-min schemes there is no evaluation fan-out to
   // parallelize — speculatively scoring the whole candidate list would do
-  // strictly more work than the sequential early exit it replaces.
+  // strictly more work than the sequential early exit it replaces. Batched
+  // routing therefore primes incrementally, one candidate per Prime(), so
+  // the early exit keeps its win.
+  if (config_.batched_routing) {
+    batch_.Begin(request.origin, request.destination);
+  }
   for (int32_t id : candidates) {
     const TaxiState& t = taxi(id);
     ++outcome.candidates;
     {
       ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
+      // Admissible lower bound first: prunes without touching the oracle
+      // and can never disagree with the exact check below.
+      if (LowerBoundPrunesPickup(t.location, request, now)) continue;
       Seconds approach = oracle_->Cost(t.location, request.origin);
       if (now + approach > request.PickupDeadline()) continue;
     }
     InsertionResult ins;
     {
       ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
+      LegCostFn cost;
+      if (config_.batched_routing) {
+        RegisterCandidateStops(t);
+        batch_.Prime();
+        cost = BatchedCost();
+      } else {
+        cost = OracleCost();
+      }
       ins = FindBestInsertionDp(t.schedule, request, t.location, now,
-                                t.onboard, t.capacity, OracleCost());
+                                t.onboard, t.capacity, cost);
     }
     if (!ins.found) continue;
     RoutePlanner::PlannedRoute route =

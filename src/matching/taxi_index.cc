@@ -18,11 +18,17 @@ MtShareTaxiIndex::MtShareTaxiIndex(const RoadNetwork& network,
 void MtShareTaxiIndex::RemoveTaxiPartitions(TaxiId id) {
   auto it = taxi_partitions_.find(id);
   if (it == taxi_partitions_.end()) return;
-  for (PartitionId p : it->second) {
-    auto& list = partition_taxis_[p];
-    for (size_t i = 0; i < list.size(); ++i) {
-      if (list[i].taxi == id) {
-        list.erase(list.begin() + i);
+  for (const Membership& m : it->second) {
+    auto& list = partition_taxis_[m.partition];
+    // The list is arrival-sorted and the membership recorded the entry's
+    // arrival time: binary-search to the tie range instead of scanning the
+    // whole list from the front.
+    auto pos = std::lower_bound(
+        list.begin(), list.end(), m.time,
+        [](const Arrival& a, Seconds t) { return a.time < t; });
+    for (; pos != list.end() && pos->time <= m.time; ++pos) {
+      if (pos->taxi == id) {
+        list.erase(pos);
         break;
       }
     }
@@ -39,12 +45,14 @@ bool MtShareTaxiIndex::PartitionContains(PartitionId p, TaxiId id) const {
 
 void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
   RemoveTaxiPartitions(taxi.id);
-  std::vector<PartitionId> memberships;
+  std::vector<Membership> memberships;
   auto add = [&](PartitionId p, Seconds arrival) {
     // Memberships are visited in increasing arrival order, so the first
-    // insertion carries the earliest arrival; keep the list sorted.
-    for (const Arrival& existing : partition_taxis_[p]) {
-      if (existing.taxi == taxi.id) return;
+    // insertion carries the earliest arrival. All of this taxi's old
+    // entries were just removed, so a duplicate can only come from this
+    // call — check the (short) local membership list, not the partition's.
+    for (const Membership& existing : memberships) {
+      if (existing.partition == p) return;
     }
     auto& list = partition_taxis_[p];
     Arrival entry{arrival, taxi.id};
@@ -53,7 +61,7 @@ void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
                                   return t < a.time;
                                 });
     list.insert(pos, entry);
-    memberships.push_back(p);
+    memberships.push_back(Membership{p, arrival});
   };
   // Current partition, at the current time.
   add(partitioning_.PartitionOf(taxi.location), now);
@@ -75,8 +83,22 @@ void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
 }
 
 void MtShareTaxiIndex::OnTaxiMoved(const TaxiState& taxi, Seconds now) {
-  if (!taxi.Idle()) return;  // busy taxis: memberships are route-derived
-  ReindexTaxi(taxi, now);
+  if (taxi.Idle()) {
+    ReindexTaxi(taxi, now);
+    return;
+  }
+  // Busy taxis: future memberships are route-derived and stay valid, but
+  // the moment the taxi crosses into a new partition its old
+  // current-partition entry is stale — the partition it left keeps
+  // advertising it with a past arrival time, inflating candidate lists
+  // with taxis that are no longer anywhere near. Reindex on crossing
+  // (memberships.front() is the current-partition entry by construction);
+  // moves within a partition keep the cheap early return.
+  auto it = taxi_partitions_.find(taxi.id);
+  if (it == taxi_partitions_.end() || it->second.empty() ||
+      it->second.front().partition != partitioning_.PartitionOf(taxi.location)) {
+    ReindexTaxi(taxi, now);
+  }
 }
 
 void MtShareTaxiIndex::AddRequest(const RideRequest& request) {
@@ -118,9 +140,9 @@ size_t MtShareTaxiIndex::MemoryBytes() const {
   for (const auto& m : partition_taxis_) {
     bytes += m.size() * sizeof(Arrival);
   }
-  for (const auto& [id, partitions] : taxi_partitions_) {
+  for (const auto& [id, memberships] : taxi_partitions_) {
     (void)id;
-    bytes += partitions.size() * sizeof(PartitionId) + 24;
+    bytes += memberships.size() * sizeof(Membership) + 24;
   }
   return bytes;
 }

@@ -31,8 +31,12 @@ class MtShareTaxiIndex {
   /// committed or drained.
   void ReindexTaxi(const TaxiState& taxi, Seconds now);
 
-  /// Cheap refresh when an *idle* taxi's location changed (busy taxis'
-  /// memberships are route-derived and stay valid between commits).
+  /// Refresh when a taxi's location changed. Idle taxis reindex on every
+  /// move. Busy taxis' *future* memberships are route-derived and stay
+  /// valid between commits, but the current-partition entry goes stale the
+  /// moment the taxi crosses a partition border: the partition it left
+  /// keeps advertising it with a past arrival time. Crossing triggers a
+  /// reindex; moves within a partition stay O(1).
   void OnTaxiMoved(const TaxiState& taxi, Seconds now);
 
   /// Registers a ride request in the mobility clustering (affects general
@@ -82,10 +86,18 @@ class MtShareTaxiIndex {
   const MapPartitioning& partitioning_;
   Seconds tmp_;
 
+  /// One recorded membership: the partition a taxi is listed in plus the
+  /// arrival time its entry carries — the binary-search key into that
+  /// partition's sorted Arrival list at removal time.
+  struct Membership {
+    PartitionId partition = 0;
+    Seconds time = 0.0;
+  };
+
   std::vector<std::vector<Arrival>> partition_taxis_;
-  /// Partitions each taxi is currently listed in (for O(memberships)
-  /// removal).
-  std::unordered_map<TaxiId, std::vector<PartitionId>> taxi_partitions_;
+  /// Memberships of each indexed taxi, in insertion order (the current
+  /// partition first, then route partitions by first arrival).
+  std::unordered_map<TaxiId, std::vector<Membership>> taxi_partitions_;
   MobilityClustering clustering_;
 };
 

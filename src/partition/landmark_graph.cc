@@ -1,14 +1,48 @@
 #include "partition/landmark_graph.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "common/logging.h"
 
 namespace mtshare {
+namespace {
+
+/// Dijkstra over reversed arcs: costs *to* `sink` from every vertex.
+/// LandmarkGraph needs one row per landmark at build time only, so a plain
+/// local search (no epoch buffers) keeps DijkstraSearch forward-only.
+std::vector<Seconds> ReverseCostsFrom(const RoadNetwork& network,
+                                      VertexId sink) {
+  struct Entry {
+    Seconds cost;
+    VertexId vertex;
+    bool operator>(const Entry& other) const { return cost > other.cost; }
+  };
+  std::vector<Seconds> dist(network.num_vertices(), kInfiniteCost);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist[sink] = 0.0;
+  queue.push(Entry{0.0, sink});
+  while (!queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (top.cost > dist[top.vertex]) continue;
+    for (const Arc& arc : network.InArcs(top.vertex)) {
+      Seconds cand = top.cost + arc.cost;
+      if (cand < dist[arc.head]) {
+        dist[arc.head] = cand;
+        queue.push(Entry{cand, arc.head});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
 
 LandmarkGraph::LandmarkGraph(const RoadNetwork& network,
                              const MapPartitioning& partitioning)
-    : num_partitions_(partitioning.num_partitions()) {
+    : num_partitions_(partitioning.num_partitions()),
+      partitioning_(&partitioning) {
   MTSHARE_CHECK(num_partitions_ > 0);
   adjacency_.resize(num_partitions_);
 
@@ -32,9 +66,14 @@ LandmarkGraph::LandmarkGraph(const RoadNetwork& network,
     }
   }
 
-  // Landmark-to-landmark costs: one Dijkstra row per landmark.
+  // Landmark-to-landmark costs: one Dijkstra row per landmark. The same
+  // forward row (plus a reverse sweep) also yields every member vertex's
+  // distance from/to its home landmark — the per-vertex terms of the
+  // LowerBound() triangle inequality.
   costs_.assign(static_cast<size_t>(num_partitions_) * num_partitions_,
                 kInfiniteCost);
+  from_landmark_.assign(network.num_vertices(), kInfiniteCost);
+  to_landmark_.assign(network.num_vertices(), kInfiniteCost);
   DijkstraSearch search(network);
   for (PartitionId p = 0; p < num_partitions_; ++p) {
     std::vector<Seconds> row = search.CostsFrom(partitioning.landmarks[p]);
@@ -42,7 +81,26 @@ LandmarkGraph::LandmarkGraph(const RoadNetwork& network,
       costs_[static_cast<size_t>(p) * num_partitions_ + q] =
           row[partitioning.landmarks[q]];
     }
+    std::vector<Seconds> rev =
+        ReverseCostsFrom(network, partitioning.landmarks[p]);
+    for (VertexId v : partitioning.partition_vertices[p]) {
+      from_landmark_[v] = row[v];
+      to_landmark_[v] = rev[v];
+    }
   }
+}
+
+Seconds LandmarkGraph::LowerBound(VertexId a, VertexId b) const {
+  PartitionId pa = partitioning_->PartitionOf(a);
+  PartitionId pb = partitioning_->PartitionOf(b);
+  Seconds ll = LandmarkCost(pa, pb);
+  Seconds fa = from_landmark_[a];
+  Seconds tb = to_landmark_[b];
+  if (ll >= kInfiniteCost || fa >= kInfiniteCost || tb >= kInfiniteCost) {
+    return 0.0;  // disconnected terms make the bound meaningless
+  }
+  Seconds lb = ll - fa - tb;
+  return lb > 0.0 ? lb : 0.0;
 }
 
 bool LandmarkGraph::Adjacent(PartitionId a, PartitionId b) const {
@@ -52,6 +110,7 @@ bool LandmarkGraph::Adjacent(PartitionId a, PartitionId b) const {
 
 size_t LandmarkGraph::MemoryBytes() const {
   size_t bytes = costs_.size() * sizeof(Seconds);
+  bytes += (from_landmark_.size() + to_landmark_.size()) * sizeof(Seconds);
   for (const auto& nbrs : adjacency_) bytes += nbrs.size() * sizeof(PartitionId);
   return bytes;
 }

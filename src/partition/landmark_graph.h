@@ -39,12 +39,25 @@ class LandmarkGraph {
 
   bool Adjacent(PartitionId a, PartitionId b) const;
 
+  /// Admissible lower bound on the road-network travel cost a -> b, by
+  /// triangle inequality over the home landmarks l_a, l_b:
+  ///   d(a, b) >= d(l_a, l_b) - d(l_a, a) - d(b, l_b).
+  /// Never exceeds the true cost (so pruning with it cannot change
+  /// results); returns 0 when the bound is vacuous or any term is
+  /// infinite. O(1): all three terms are precomputed at build.
+  Seconds LowerBound(VertexId a, VertexId b) const;
+
   size_t MemoryBytes() const;
 
  private:
   int32_t num_partitions_;
+  const MapPartitioning* partitioning_;  // outlives this (owner builds both)
   std::vector<std::vector<PartitionId>> adjacency_;
   std::vector<Seconds> costs_;  // dense num_partitions^2
+  /// Per-vertex distances to/from the vertex's home landmark:
+  /// from_landmark_[v] = d(l_{P(v)}, v), to_landmark_[v] = d(v, l_{P(v)}).
+  std::vector<Seconds> from_landmark_;
+  std::vector<Seconds> to_landmark_;
 };
 
 }  // namespace mtshare

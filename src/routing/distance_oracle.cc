@@ -60,6 +60,33 @@ Seconds DistanceOracle::Cost(VertexId source, VertexId target) {
   return (*row)[target];
 }
 
+void DistanceOracle::CostMany(VertexId source,
+                              std::span<const VertexId> targets,
+                              std::vector<Seconds>* out) {
+  MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  batch_queries_.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  out->reserve(targets.size());
+  // One row pass (and one hit/miss tick) regardless of target count; the
+  // row's own source entry is 0.0, so no same-vertex special case is
+  // needed to stay bit-identical to Cost().
+  if (exact_mode_) {
+    const std::vector<Seconds>& row = ExactRow(source);
+    for (VertexId t : targets) {
+      MTSHARE_CHECK(t >= 0 && t < network_.num_vertices());
+      out->push_back(row[t]);
+    }
+    return;
+  }
+  auto row = cache_->GetOrCompute(
+      source, [this](VertexId v) { return ComputeRow(v); });
+  for (VertexId t : targets) {
+    MTSHARE_CHECK(t >= 0 && t < network_.num_vertices());
+    out->push_back((*row)[t]);
+  }
+}
+
 const std::vector<Seconds>& DistanceOracle::Row(VertexId source) {
   MTSHARE_CHECK(exact_mode_);  // LRU rows can be evicted; use RowPtr()
   queries_.fetch_add(1, std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/sharded_lru.h"
@@ -45,6 +46,15 @@ class DistanceOracle {
   /// Safe to call from any thread.
   Seconds Cost(VertexId source, VertexId target);
 
+  /// Batch query: costs from `source` to every target (aligned with
+  /// `targets`; duplicates allowed), serviced with ONE pass through the
+  /// exact/LRU row backend. Counts as a single oracle query plus one
+  /// batch_queries tick, however many targets it serves. Each value is
+  /// bit-identical to Cost(source, target) for the same pair. Safe to call
+  /// from any thread.
+  void CostMany(VertexId source, std::span<const VertexId> targets,
+                std::vector<Seconds>* out);
+
   /// One-to-all row for `source`, exact mode only (rows are never evicted,
   /// so the reference stays valid for the oracle's lifetime). LRU mode
   /// callers must use RowPtr(), whose shared_ptr survives eviction.
@@ -57,6 +67,10 @@ class DistanceOracle {
   bool exact_mode() const { return exact_mode_; }
   int64_t queries() const {
     return queries_.load(std::memory_order_relaxed);
+  }
+  /// CostMany calls serviced (each also counts as one query).
+  int64_t batch_queries() const {
+    return batch_queries_.load(std::memory_order_relaxed);
   }
   /// Row-cache traffic: a hit served a query from a resident row, a miss
   /// paid a one-to-all Dijkstra. (Same-vertex queries short-circuit and
@@ -90,6 +104,7 @@ class DistanceOracle {
   std::unique_ptr<ShardedLruCache<VertexId, std::vector<Seconds>>> cache_;
 
   std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> batch_queries_{0};
 };
 
 }  // namespace mtshare

@@ -1,0 +1,263 @@
+#include "routing/one_to_many.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+OneToManySearch::OneToManySearch(const RoadNetwork& network)
+    : network_(network),
+      dist_(network.num_vertices(), 0.0),
+      epoch_(network.num_vertices(), 0),
+      settled_(network.num_vertices(), 0),
+      target_(network.num_vertices(), 0) {}
+
+void OneToManySearch::CostsTo(VertexId source,
+                              std::span<const VertexId> targets,
+                              std::vector<Seconds>* out) {
+  MTSHARE_CHECK(source >= 0 && source < network_.num_vertices());
+  ++current_epoch_;
+  if (current_epoch_ == 0) {  // wrapped: hard reset
+    std::fill(epoch_.begin(), epoch_.end(), 0);
+    std::fill(settled_.begin(), settled_.end(), 0);
+    std::fill(target_.begin(), target_.end(), 0);
+    current_epoch_ = 1;
+  }
+  last_settled_ = 0;
+
+  int32_t remaining = 0;
+  for (VertexId t : targets) {
+    MTSHARE_CHECK(t >= 0 && t < network_.num_vertices());
+    if (target_[t] != current_epoch_) {
+      target_[t] = current_epoch_;
+      ++remaining;
+    }
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist_[source] = 0.0;
+  epoch_[source] = current_epoch_;
+  queue.push(QueueEntry{0.0, source});
+
+  while (!queue.empty() && remaining > 0) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (epoch_[top.vertex] != current_epoch_ || top.cost > dist_[top.vertex] ||
+        settled_[top.vertex] == current_epoch_) {
+      continue;  // stale entry
+    }
+    settled_[top.vertex] = current_epoch_;
+    ++last_settled_;
+    if (target_[top.vertex] == current_epoch_) {
+      target_[top.vertex] = 0;  // epoch 0 is never current (wrap resets)
+      --remaining;
+    }
+    // Relaxation identical to DijkstraSearch::Run without weights/masks:
+    // the candidate distance is the same floating-point sum, so every
+    // settled value matches the full one-to-all row bit for bit.
+    for (const Arc& arc : network_.OutArcs(top.vertex)) {
+      VertexId next = arc.head;
+      Seconds cand = top.cost + arc.cost;
+      if (epoch_[next] != current_epoch_ || cand < dist_[next]) {
+        epoch_[next] = current_epoch_;
+        dist_[next] = cand;
+        queue.push(QueueEntry{cand, next});
+      }
+    }
+  }
+
+  out->clear();
+  out->reserve(targets.size());
+  for (VertexId t : targets) {
+    out->push_back(settled_[t] == current_epoch_ ? dist_[t] : kInfiniteCost);
+  }
+}
+
+InsertionCostBatch::InsertionCostBatch(const RoadNetwork& network,
+                                       DistanceOracle* oracle)
+    : network_(network),
+      oracle_(oracle),
+      sweep_(network),
+      cid_epoch_(network.num_vertices(), 0),
+      cid_(network.num_vertices(), 0) {
+  MTSHARE_CHECK(oracle != nullptr);
+  Grow(64);
+}
+
+void InsertionCostBatch::Grow(int32_t needed) {
+  int32_t next = stride_ == 0 ? 64 : stride_;
+  while (next <= needed) next *= 2;
+  next = std::min(next, kDenseCap);
+  if (next <= stride_) return;
+  std::vector<Seconds> grown(size_t(next) * next, kUnprimed);
+  // Re-lay existing rows at the new stride (T-Share grows the batch
+  // incrementally between Prime() calls, so earlier values must survive).
+  int32_t used = std::min<int32_t>(int32_t(cid_vertex_.size()), stride_);
+  for (int32_t r = 0; r < used; ++r) {
+    std::copy_n(matrix_.begin() + size_t(r) * stride_, used,
+                grown.begin() + size_t(r) * next);
+  }
+  matrix_ = std::move(grown);
+  stride_ = next;
+}
+
+int32_t InsertionCostBatch::CidFor(VertexId v) {
+  if (cid_epoch_[v] == epoch_) return cid_[v];
+  cid_epoch_[v] = epoch_;
+  int32_t id = int32_t(cid_vertex_.size());
+  cid_[v] = id;
+  cid_vertex_.push_back(v);
+  is_stop_.push_back(0);
+  if (pending_succ_.size() <= size_t(id)) pending_succ_.emplace_back();
+  if (id >= stride_ && id < kDenseCap) Grow(id);
+  return id;
+}
+
+void InsertionCostBatch::Store(VertexId a, VertexId b, Seconds cost) {
+  int32_t ia = cid_[a];
+  int32_t ib = cid_[b];
+  if (ia < kDenseCap && ib < kDenseCap) {
+    matrix_[size_t(ia) * stride_ + ib] = cost;
+  } else {
+    overflow_[Key(a, b)] = cost;
+  }
+}
+
+void InsertionCostBatch::Begin(VertexId origin, VertexId destination) {
+  origin_ = origin;
+  destination_ = destination;
+  // Wipe only the matrix region the previous dispatch could have written.
+  int32_t used = std::min<int32_t>(int32_t(cid_vertex_.size()), stride_);
+  if (used > 0) {
+    std::fill_n(matrix_.begin(), size_t(used) * stride_, kUnprimed);
+  }
+  if (!overflow_.empty()) overflow_.clear();
+  cid_vertex_.clear();
+  is_stop_.clear();
+  for (int32_t c : pending_sources_) pending_succ_[c].clear();
+  pending_sources_.clear();
+  pending_stops_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: hard reset
+    std::fill(cid_epoch_.begin(), cid_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  CidFor(origin);
+  CidFor(destination);
+}
+
+void InsertionCostBatch::AddCandidate(std::span<const VertexId> stops) {
+  int32_t prev_cid = -1;
+  VertexId prev = kInvalidVertex;
+  for (VertexId v : stops) {
+    int32_t c = CidFor(v);
+    if (!is_stop_[c]) {
+      is_stop_[c] = 1;
+      pending_stops_.push_back(v);
+    }
+    if (prev_cid >= 0 && prev != v) {
+      bool primed = prev_cid < kDenseCap && c < kDenseCap
+                        ? matrix_[size_t(prev_cid) * stride_ + c] != kUnprimed
+                        : overflow_.find(Key(prev, v)) != overflow_.end();
+      if (!primed) {
+        std::vector<VertexId>& succ = pending_succ_[prev_cid];
+        if (std::find(succ.begin(), succ.end(), v) == succ.end()) {
+          if (succ.empty()) pending_sources_.push_back(prev_cid);
+          succ.push_back(v);
+        }
+      }
+    }
+    prev = v;
+    prev_cid = c;
+  }
+}
+
+void InsertionCostBatch::GatherRow(VertexId source,
+                                   std::span<const VertexId> targets) {
+  oracle_->CostMany(source, targets, &row_buf_);
+  ++batch_queries_;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Store(source, targets[i], row_buf_[i]);
+  }
+}
+
+void InsertionCostBatch::FanFromEndpoint(VertexId endpoint,
+                                         std::span<const VertexId> targets) {
+  if (oracle_->exact_mode()) {
+    GatherRow(endpoint, targets);
+    return;
+  }
+  sweep_.CostsTo(endpoint, targets, &row_buf_);
+  settled_vertices_ += sweep_.last_settled_count();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Store(endpoint, targets[i], row_buf_[i]);
+  }
+}
+
+void InsertionCostBatch::Prime() {
+  if (pending_stops_.empty() && pending_sources_.empty()) return;
+  if (!pending_stops_.empty()) {
+    // Origin/destination fans over the freshly seen stops. These sources
+    // are one-shot per request, so in LRU mode a truncated sweep beats
+    // computing (and caching) their full rows.
+    target_buf_.assign(pending_stops_.begin(), pending_stops_.end());
+    target_buf_.push_back(destination_);
+    FanFromEndpoint(origin_, target_buf_);
+    FanFromEndpoint(destination_, pending_stops_);
+    // Every stop also needs its costs *to* both request endpoints.
+    for (VertexId s : pending_stops_) {
+      int32_t c = cid_[s];
+      std::vector<VertexId>& succ = pending_succ_[c];
+      if (succ.empty()) pending_sources_.push_back(c);
+      succ.push_back(origin_);
+      succ.push_back(destination_);
+    }
+  }
+  // Per-stop fans: one oracle row pass covers the stop's base-schedule
+  // successors plus both request endpoints. Stop rows recur across
+  // requests, so the row cache is the right backend here.
+  for (int32_t c : pending_sources_) {
+    std::vector<VertexId>& targets = pending_succ_[c];
+    if (!targets.empty()) GatherRow(cid_vertex_[c], targets);
+    targets.clear();
+  }
+  pending_sources_.clear();
+  pending_stops_.clear();
+}
+
+Seconds InsertionCostBatch::Cost(VertexId a, VertexId b) const {
+  if (a == b) return 0.0;
+  if (cid_epoch_[a] == epoch_ && cid_epoch_[b] == epoch_) {
+    int32_t ia = cid_[a];
+    int32_t ib = cid_[b];
+    if (ia < kDenseCap && ib < kDenseCap) {
+      Seconds c = matrix_[size_t(ia) * stride_ + ib];
+      if (c != kUnprimed) return c;
+    } else {
+      auto it = overflow_.find(Key(a, b));
+      if (it != overflow_.end()) return it->second;
+    }
+  }
+  fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  return oracle_->Cost(a, b);
+}
+
+BatchRoutingStats InsertionCostBatch::stats() const {
+  BatchRoutingStats s;
+  s.batch_queries = batch_queries_;
+  s.settled_vertices = settled_vertices_;
+  s.fallback_queries = fallback_queries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InsertionCostBatch::ResetStats() {
+  batch_queries_ = 0;
+  settled_vertices_ = 0;
+  fallback_queries_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mtshare

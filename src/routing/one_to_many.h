@@ -1,0 +1,179 @@
+#ifndef MTSHARE_ROUTING_ONE_TO_MANY_H_
+#define MTSHARE_ROUTING_ONE_TO_MANY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+
+/// Counters of the batched insertion-routing layer, harvested into Metrics
+/// and the run report ("routing" section).
+struct BatchRoutingStats {
+  /// Whether the dispatcher ran with batched routing armed.
+  bool batched = false;
+  /// CostMany row passes issued while priming insertion batches.
+  int64_t batch_queries = 0;
+  /// Vertices settled by truncated one-to-many sweeps (LRU-mode oracles
+  /// only; exact-mode priming gathers from resident rows instead).
+  int64_t settled_vertices = 0;
+  /// Candidate taxis skipped because the landmark lower bound proved the
+  /// pickup unreachable before its deadline.
+  int64_t lb_pruned = 0;
+  /// Leg costs requested during insertion that were not primed (served by
+  /// a per-pair oracle query; expected 0 — nonzero means the priming
+  /// coverage analysis in InsertionCostBatch is stale).
+  int64_t fallback_queries = 0;
+};
+
+/// Truncated Dijkstra: one forward search from `source` that stops as soon
+/// as every target is settled. Values are bit-identical to the
+/// corresponding entries of DijkstraSearch::CostsFrom(source) — identical
+/// relaxation arithmetic, and a settled vertex's distance is final
+/// regardless of settle order (strictly positive arc costs), so stopping
+/// early cannot change any reported value.
+///
+/// Not thread-safe; create one per thread.
+class OneToManySearch {
+ public:
+  explicit OneToManySearch(const RoadNetwork& network);
+
+  /// Costs from `source` to each target, aligned with `targets`
+  /// (kInfiniteCost for unreachable; duplicates allowed).
+  void CostsTo(VertexId source, std::span<const VertexId> targets,
+               std::vector<Seconds>* out);
+
+  /// Vertices settled by the most recent CostsTo.
+  int64_t last_settled_count() const { return last_settled_; }
+
+ private:
+  struct QueueEntry {
+    Seconds cost;
+    VertexId vertex;
+    bool operator>(const QueueEntry& other) const {
+      return cost > other.cost;
+    }
+  };
+
+  const RoadNetwork& network_;
+  std::vector<Seconds> dist_;
+  std::vector<uint32_t> epoch_;     // dist_[v] valid iff epoch_[v] == current
+  std::vector<uint32_t> settled_;   // settled iff settled_[v] == current
+  std::vector<uint32_t> target_;    // unsettled target iff == current
+  uint32_t current_epoch_ = 0;
+  int64_t last_settled_ = 0;
+};
+
+/// Primes every leg cost FindBestInsertionDp (and its FindBestInsertion
+/// fallback) can request for a request's insertion into candidate
+/// schedules, then serves them from a lock-free table. The legs of any
+/// insertion walk are pairs over {taxi location, schedule stops, request
+/// origin, request destination} where base-schedule adjacency is preserved
+/// (insertion never removes events), so the closure is: origin/destination
+/// -> every stop, every stop -> origin/destination, every base-adjacent
+/// stop pair, and origin -> destination.
+///
+/// All costs are gathered via forward row passes (DistanceOracle::CostMany)
+/// or forward truncated sweeps (OneToManySearch) — the same direction the
+/// oracle computes rows in — so every table entry is bit-identical to
+/// DistanceOracle::Cost for the same pair, and batched insertion evaluation
+/// produces bit-identical Metrics to the per-pair path.
+///
+/// Usage: Begin(origin, dest) once per dispatch; AddCandidate + Prime for
+/// each candidate (or all candidates, then one Prime); Cost() from any
+/// thread afterwards. Unprimed pairs fall back to the (thread-safe) oracle
+/// and are counted in stats().fallback_queries.
+///
+/// The table is a dense matrix over per-dispatch compact vertex ids
+/// (epoch-stamped, so Begin() is O(used cells), not O(|V|)): the exact-mode
+/// oracle answers a leg in one array read, and an unordered_map table made
+/// batched evaluation measurably SLOWER there. Dispatches touching more
+/// than kDenseCap distinct vertices spill the excess pairs into a hash map
+/// instead of growing the matrix quadratically.
+class InsertionCostBatch {
+ public:
+  InsertionCostBatch(const RoadNetwork& network, DistanceOracle* oracle);
+
+  /// Starts a new batch for one ride request; clears the table.
+  void Begin(VertexId origin, VertexId destination);
+
+  /// Registers a candidate's insertion stop walk: its current location
+  /// followed by its schedule stops, in schedule order.
+  void AddCandidate(std::span<const VertexId> stops);
+
+  /// Primes all pairs registered since the last Prime(). LRU-mode oracles
+  /// service the origin/destination fans with truncated sweeps (a full row
+  /// compute for one-shot request endpoints would thrash the cache);
+  /// exact-mode oracles gather from resident rows via CostMany. Per-stop
+  /// fans always go through CostMany — stop rows are reused across
+  /// requests, so cache residency pays off.
+  void Prime();
+
+  /// Primed leg cost; falls back to the oracle for unknown pairs.
+  /// Thread-safe (the table is read-only between Prime() calls).
+  Seconds Cost(VertexId a, VertexId b) const;
+
+  /// Counters since the last ResetStats (fallbacks are cumulative across
+  /// Begin() calls; `batched`/`lb_pruned` are owned by the dispatcher).
+  BatchRoutingStats stats() const;
+  void ResetStats();
+
+ private:
+  /// Matrix rows/cols beyond this many distinct vertices per dispatch go to
+  /// the overflow hash map (the matrix would grow quadratically).
+  static constexpr int32_t kDenseCap = 1024;
+  /// Matrix cell value meaning "pair not primed" (costs are >= 0).
+  static constexpr Seconds kUnprimed = -1.0;
+
+  static uint64_t Key(VertexId a, VertexId b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+  /// Compact id for `v` this dispatch, assigning (and growing the matrix)
+  /// on first sight.
+  int32_t CidFor(VertexId v);
+  void Grow(int32_t needed);
+  void Store(VertexId a, VertexId b, Seconds cost);
+  void GatherRow(VertexId source, std::span<const VertexId> targets);
+  /// Request endpoints are one-shot sources: truncated sweep in LRU mode,
+  /// resident-row gather in exact mode.
+  void FanFromEndpoint(VertexId endpoint, std::span<const VertexId> targets);
+
+  const RoadNetwork& network_;
+  DistanceOracle* oracle_;
+  OneToManySearch sweep_;
+
+  VertexId origin_ = kInvalidVertex;
+  VertexId destination_ = kInvalidVertex;
+
+  // Compact-id state: cid_[v] is valid iff cid_epoch_[v] == epoch_.
+  std::vector<uint32_t> cid_epoch_;
+  std::vector<int32_t> cid_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> cid_vertex_;  // vertex of each compact id
+  std::vector<uint8_t> is_stop_;      // per cid: registered as a stop?
+  int32_t stride_ = 0;                // matrix is stride_ x stride_
+  std::vector<Seconds> matrix_;       // kUnprimed = absent
+  std::unordered_map<uint64_t, Seconds> overflow_;  // cids >= kDenseCap
+
+  // Pending work registered by AddCandidate since the last Prime().
+  std::vector<VertexId> pending_stops_;  // stops first seen since last Prime
+  std::vector<int32_t> pending_sources_;  // cids with pending successors
+  std::vector<std::vector<VertexId>> pending_succ_;  // per cid
+
+  std::vector<Seconds> row_buf_;
+  std::vector<VertexId> target_buf_;
+
+  mutable std::atomic<int64_t> fallback_queries_{0};
+  int64_t batch_queries_ = 0;
+  int64_t settled_vertices_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_ROUTING_ONE_TO_MANY_H_

@@ -78,6 +78,7 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   metrics_.total_driver_income = income;
   metrics_.execution_seconds = run_timer.ElapsedSeconds();
   metrics_.phases = dispatcher_->phase_timers();
+  metrics_.routing = dispatcher_->routing_stats();
   metrics_.FinalizeDistributions();
   return std::move(metrics_);
 }

@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "demand/request.h"
 #include "matching/phase_timers.h"
+#include "routing/one_to_many.h"
 
 namespace mtshare {
 
@@ -97,6 +98,10 @@ class Metrics {
   /// Per-phase dispatch-time breakdown harvested from the dispatcher at
   /// run end (candidate search / filter / insertion / routing).
   PhaseTimers phases;
+  /// Batched-routing counters harvested from the dispatcher at run end:
+  /// one-to-many batch passes, vertices settled by truncated sweeps,
+  /// lower-bound-pruned candidates, and per-pair fallback queries.
+  BatchRoutingStats routing;
   /// Dispatcher time spent probing offline encounters that were *not*
   /// served — measured by the engine but attached to no request record.
   double offline_probe_ms = 0.0;

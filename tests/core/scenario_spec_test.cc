@@ -43,7 +43,17 @@ class ScenarioSpecTest : public ::testing::Test {
   }
 
   Metrics RunWithThreads(SchemeKind scheme, int32_t num_threads) {
-    std::unique_ptr<MTShareSystem> system = FreshSystem();
+    return RunConfigured(scheme, num_threads, /*batched_routing=*/true);
+  }
+
+  Metrics RunConfigured(SchemeKind scheme, int32_t num_threads,
+                        bool batched_routing) {
+    SystemConfig cfg = config_;
+    cfg.matching.batched_routing = batched_routing;
+    auto created =
+        MTShareSystem::Create(net_, scenario_.HistoricalOdPairs(), cfg);
+    EXPECT_TRUE(created.ok()) << created.status();
+    std::unique_ptr<MTShareSystem> system = std::move(created).value();
     ScenarioSpec spec;
     spec.scheme = scheme;
     spec.requests = &scenario_.requests;
@@ -101,6 +111,65 @@ TEST_F(ScenarioSpecTest, ParallelMatchingIsDeterministicAcrossThreadCounts) {
                             std::string(SchemeName(scheme)) + " 1v2");
     ExpectIdenticalOutcomes(one, eight,
                             std::string(SchemeName(scheme)) + " 1v8");
+  }
+}
+
+/// Simulation outcomes only — unlike ExpectIdenticalOutcomes this skips the
+/// oracle counters, which legitimately differ between batched and per-pair
+/// routing (batching's whole point is issuing fewer oracle queries).
+void ExpectIdenticalDecisions(const Metrics& a, const Metrics& b,
+                              const std::string& label) {
+  ASSERT_EQ(a.TotalRequests(), b.TotalRequests()) << label;
+  EXPECT_EQ(a.ServedRequests(), b.ServedRequests()) << label;
+  EXPECT_EQ(a.ServedOnline(), b.ServedOnline()) << label;
+  EXPECT_EQ(a.ServedOffline(), b.ServedOffline()) << label;
+  EXPECT_DOUBLE_EQ(a.total_driver_income, b.total_driver_income) << label;
+  EXPECT_EQ(a.index_memory_bytes, b.index_memory_bytes) << label;
+  for (int32_t i = 0; i < a.TotalRequests(); ++i) {
+    const RequestRecord& ra = a.records()[i];
+    const RequestRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.assigned, rb.assigned) << label << " req " << i;
+    EXPECT_EQ(ra.completed, rb.completed) << label << " req " << i;
+    EXPECT_EQ(ra.taxi, rb.taxi) << label << " req " << i;
+    EXPECT_EQ(ra.candidates, rb.candidates) << label << " req " << i;
+    EXPECT_DOUBLE_EQ(ra.pickup_time, rb.pickup_time) << label << " req " << i;
+    EXPECT_DOUBLE_EQ(ra.dropoff_time, rb.dropoff_time)
+        << label << " req " << i;
+    EXPECT_DOUBLE_EQ(ra.regular_fare, rb.regular_fare)
+        << label << " req " << i;
+    EXPECT_DOUBLE_EQ(ra.shared_fare, rb.shared_fare) << label << " req " << i;
+  }
+}
+
+/// The tentpole guarantee: batched one-to-many routing must be a pure
+/// mechanical substitution — every dispatch decision, fare, and timestamp
+/// bit-identical to the per-pair oracle path, at any thread count.
+TEST_F(ScenarioSpecTest, BatchedRoutingMatchesPerPairBitwise) {
+  for (SchemeKind scheme : {SchemeKind::kTShare, SchemeKind::kPGreedyDp,
+                            SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
+    Metrics per_pair = RunConfigured(scheme, 1, /*batched_routing=*/false);
+    Metrics batched = RunConfigured(scheme, 1, /*batched_routing=*/true);
+    Metrics batched_mt = RunConfigured(scheme, 4, /*batched_routing=*/true);
+    EXPECT_GT(per_pair.ServedRequests(), 0) << SchemeName(scheme);
+    ExpectIdenticalDecisions(per_pair, batched,
+                             std::string(SchemeName(scheme)) + " batched");
+    ExpectIdenticalDecisions(per_pair, batched_mt,
+                             std::string(SchemeName(scheme)) + " batched-mt");
+    // The batched runs actually exercised the batch, with full coverage
+    // (a fallback means the priming fan missed a leg shape).
+    EXPECT_FALSE(per_pair.routing.batched) << SchemeName(scheme);
+    EXPECT_TRUE(batched.routing.batched) << SchemeName(scheme);
+    EXPECT_EQ(per_pair.routing.batch_queries, 0) << SchemeName(scheme);
+    EXPECT_GT(batched.routing.batch_queries, 0) << SchemeName(scheme);
+    EXPECT_EQ(batched.routing.fallback_queries, 0) << SchemeName(scheme);
+    EXPECT_EQ(batched_mt.routing.fallback_queries, 0) << SchemeName(scheme);
+    // Fewer per-pair oracle queries is the point of the exercise.
+    EXPECT_LT(batched.oracle_queries, per_pair.oracle_queries)
+        << SchemeName(scheme);
+    // Lower-bound pruning fired and is thread-count invariant.
+    EXPECT_GT(batched.routing.lb_pruned, 0) << SchemeName(scheme);
+    EXPECT_EQ(batched.routing.lb_pruned, batched_mt.routing.lb_pruned)
+        << SchemeName(scheme);
   }
 }
 

@@ -45,10 +45,22 @@ TEST(DirectionCosineTest, FortyFiveDegrees) {
   EXPECT_NEAR(DirectionCosine(a, b), std::sqrt(0.5), 1e-12);
 }
 
-TEST(DirectionCosineTest, DegenerateTripImposesNoConstraint) {
+TEST(DirectionCosineTest, DegenerateTripIsIncompatible) {
+  // A zero-displacement trip has no direction, so it cannot *share* one:
+  // it must not pass any lambda threshold. (It used to score 1.0, which
+  // admitted origin == destination requests into every mobility cluster.)
   MobilityVector a = MakeVec(5, 5, 5, 5);  // zero displacement
   MobilityVector b = MakeVec(0, 0, 100, 0);
-  EXPECT_DOUBLE_EQ(DirectionCosine(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(DirectionCosine(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(DirectionCosine(b, a), 0.0);
+  EXPECT_DOUBLE_EQ(DirectionCosine(a, a), 0.0);
+}
+
+TEST(Raw4dCosineTest, ZeroVectorIsIncompatible) {
+  MobilityVector zero = MakeVec(0, 0, 0, 0);  // zero norm as a raw 4-tuple
+  MobilityVector b = MakeVec(0, 0, 100, 0);
+  EXPECT_DOUBLE_EQ(CosineSimilarityRaw4d(zero, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarityRaw4d(b, zero), 0.0);
 }
 
 TEST(Raw4dCosineTest, SaturatesForDistantCityCoordinates) {

@@ -161,6 +161,113 @@ TEST_F(TaxiIndexTest, ClusterTaxisFiltersOutRequests) {
   EXPECT_EQ(taxis[0], 4);
 }
 
+TEST_F(TaxiIndexTest, BusyTaxiCrossingPartitionDropsStaleEntry) {
+  // Regression: OnTaxiMoved used to early-return for busy taxis, so a taxi
+  // that crossed a partition border stayed listed in the partition it left
+  // with a past arrival time — candidate search kept surfacing it there
+  // for the rest of its trip.
+  TaxiState t = IdleTaxiAt(5, 0);
+  DijkstraSearch search(net_);
+  Path path = search.FindPath(0, net_.num_vertices() - 1);
+  ASSERT_TRUE(path.valid);
+  RideRequest r;
+  r.id = 21;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  r.direct_cost = path.cost;
+  r.deadline = 10 * path.cost;
+  t.schedule = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ApplyPlan(&t, net_, t.schedule, path.vertices, {0.0, path.cost}, 0.0, false);
+  index_->ReindexTaxi(t, 0.0);
+  ASSERT_FALSE(t.Idle());
+
+  PartitionId start = partitioning_.PartitionOf(path.vertices[0]);
+  ASSERT_TRUE(InPartitionList(start, 5));
+  // First route position after which the remaining route never re-enters
+  // the start partition.
+  size_t cross = path.vertices.size();
+  for (size_t i = path.vertices.size(); i-- > 0;) {
+    if (partitioning_.PartitionOf(path.vertices[i]) == start) {
+      cross = i + 1;
+      break;
+    }
+  }
+  ASSERT_LT(cross, path.vertices.size()) << "route never leaves partition";
+
+  // Advance the taxi to the crossing vertex, as the engine would.
+  t.location = path.vertices[cross];
+  t.location_time = t.route_times[cross];
+  t.route_pos = cross;
+  index_->OnTaxiMoved(t, t.location_time);
+
+  EXPECT_FALSE(InPartitionList(start, 5)) << "stale entry left behind";
+  PartitionId here = partitioning_.PartitionOf(t.location);
+  EXPECT_TRUE(InPartitionList(here, 5));
+}
+
+TEST_F(TaxiIndexTest, BusyTaxiMoveWithinPartitionKeepsEntryUntouched) {
+  TaxiState t = IdleTaxiAt(6, 0);
+  DijkstraSearch search(net_);
+  Path path = search.FindPath(0, net_.num_vertices() - 1);
+  ASSERT_TRUE(path.valid);
+  RideRequest r;
+  r.id = 22;
+  r.origin = 0;
+  r.destination = net_.num_vertices() - 1;
+  r.direct_cost = path.cost;
+  r.deadline = 10 * path.cost;
+  t.schedule = Schedule::WithInsertion(Schedule(), r, 0, 0);
+  ApplyPlan(&t, net_, t.schedule, path.vertices, {0.0, path.cost}, 0.0, false);
+  index_->ReindexTaxi(t, 0.0);
+
+  PartitionId start = partitioning_.PartitionOf(path.vertices[0]);
+  // Find a later route vertex still inside the start partition, if any.
+  size_t inside = 0;
+  for (size_t i = 1; i < path.vertices.size(); ++i) {
+    if (partitioning_.PartitionOf(path.vertices[i]) == start) inside = i;
+    else break;
+  }
+  if (inside == 0) GTEST_SKIP() << "route leaves immediately";
+
+  t.location = path.vertices[inside];
+  t.location_time = t.route_times[inside];
+  t.route_pos = inside;
+  index_->OnTaxiMoved(t, t.location_time);
+
+  // Still listed with its ORIGINAL first-arrival time: within-partition
+  // moves must not reindex (that is the cheap path the early return keeps).
+  bool found = false;
+  for (const MtShareTaxiIndex::Arrival& a : index_->PartitionTaxis(start)) {
+    if (a.taxi == 6) {
+      found = true;
+      EXPECT_DOUBLE_EQ(a.time, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TaxiIndexTest, RemovalWithTiedArrivalTimesKeepsOtherTaxis) {
+  // The sorted-key removal binary-searches by arrival time and then scans
+  // the tie range for the right taxi id; several taxis indexed at the same
+  // instant in the same partition exercise exactly that range.
+  for (TaxiId id = 0; id < 5; ++id) {
+    TaxiState t = IdleTaxiAt(id, 10);
+    index_->ReindexTaxi(t, 0.0);
+  }
+  PartitionId p = partitioning_.PartitionOf(10);
+  for (TaxiId id = 0; id < 5; ++id) ASSERT_TRUE(InPartitionList(p, id));
+
+  // Move the middle taxi elsewhere; its tied neighbors must survive.
+  TaxiState moved = IdleTaxiAt(2, net_.num_vertices() - 1);
+  index_->ReindexTaxi(moved, 3.0);
+  EXPECT_FALSE(InPartitionList(p, 2));
+  for (TaxiId id : {0, 1, 3, 4}) {
+    EXPECT_TRUE(InPartitionList(p, id)) << "taxi " << id;
+  }
+  EXPECT_TRUE(
+      InPartitionList(partitioning_.PartitionOf(net_.num_vertices() - 1), 2));
+}
+
 TEST_F(TaxiIndexTest, MemoryAccounted) {
   TaxiState t = IdleTaxiAt(0, 10);
   index_->ReindexTaxi(t, 0.0);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "graph/graph_generators.h"
 #include "routing/dijkstra.h"
 
@@ -89,6 +90,54 @@ TEST_F(LandmarkGraphTest, TriangleInequalityOverLandmarks) {
                   lg_->LandmarkCost(a, b) + lg_->LandmarkCost(b, c) + 1e-9);
       }
     }
+  }
+}
+
+TEST_F(LandmarkGraphTest, LowerBoundIsAdmissibleOnRandomPairs) {
+  // The candidate-pruning contract: LowerBound(a, b) <= true cost, always —
+  // an inadmissible bound would silently change matching results. Sampled
+  // over random pairs, including same-partition and same-vertex pairs.
+  DijkstraSearch search(net_);
+  Rng rng(77);
+  int nontrivial = 0;
+  for (int i = 0; i < 400; ++i) {
+    VertexId a = VertexId(rng.NextInt(0, net_.num_vertices() - 1));
+    VertexId b = VertexId(rng.NextInt(0, net_.num_vertices() - 1));
+    Seconds lb = lg_->LowerBound(a, b);
+    EXPECT_GE(lb, 0.0) << a << "->" << b;
+    Seconds exact = search.Cost(a, b);
+    EXPECT_LE(lb, exact + 1e-9) << a << "->" << b;
+    if (lb > 0.0) ++nontrivial;
+  }
+  // The bound must actually bite somewhere, or pruning is a no-op.
+  EXPECT_GT(nontrivial, 0);
+}
+
+TEST_F(LandmarkGraphTest, LowerBoundIsZeroForSameVertex) {
+  for (VertexId v = 0; v < net_.num_vertices(); v += 17) {
+    EXPECT_DOUBLE_EQ(lg_->LowerBound(v, v), 0.0);
+  }
+}
+
+TEST_F(LandmarkGraphTest, LowerBoundAdmissibleOnOneWayNetwork) {
+  // Asymmetric network: d(a,b) != d(b,a), so the from/to landmark tables
+  // must be genuinely directional (a reverse-Dijkstra bug would surface as
+  // an inadmissible bound here).
+  GridCityOptions opt;
+  opt.rows = 12;
+  opt.cols = 12;
+  opt.one_way_fraction = 0.5;
+  opt.seed = 11;
+  RoadNetwork net = MakeGridCity(opt);
+  MapPartitioning parts = GridPartition(net, 9);
+  LandmarkGraph lg(net, parts);
+  DijkstraSearch search(net);
+  Rng rng(78);
+  for (int i = 0; i < 300; ++i) {
+    VertexId a = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId b = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    EXPECT_LE(lg.LowerBound(a, b), search.Cost(a, b) + 1e-9)
+        << a << "->" << b;
   }
 }
 

@@ -70,6 +70,51 @@ TEST(BidirectionalTest, PathIsContiguousAndCostConsistent) {
   }
 }
 
+TEST(BidirectionalTest, RandomPathsUseRealArcsAndMatchDijkstraCost) {
+  // Randomized structural check on a one-way-heavy network: every
+  // consecutive vertex pair of FindPath must be a real arc (the meeting
+  // point of the two frontiers is where a stitching bug would fabricate a
+  // nonexistent hop), and the summed arc costs must equal the independent
+  // Dijkstra cost — not just the path's own claimed cost.
+  GridCityOptions opt;
+  opt.rows = 13;
+  opt.cols = 13;
+  opt.one_way_fraction = 0.4;
+  opt.seed = 19;
+  RoadNetwork net = MakeGridCity(opt);
+  BidirectionalSearch bidi(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(113);
+  int valid_paths = 0;
+  for (int i = 0; i < 60; ++i) {
+    VertexId s = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    VertexId t = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    Seconds ref = dijkstra.Cost(s, t);
+    Path p = bidi.FindPath(s, t);
+    if (ref == kInfiniteCost) {
+      EXPECT_FALSE(p.valid) << s << "->" << t;
+      continue;
+    }
+    ASSERT_TRUE(p.valid) << s << "->" << t;
+    ASSERT_EQ(p.front(), s);
+    ASSERT_EQ(p.back(), t);
+    Seconds acc = 0.0;
+    for (size_t k = 0; k + 1 < p.vertices.size(); ++k) {
+      Seconds best = kInfiniteCost;
+      for (const Arc& arc : net.OutArcs(p.vertices[k])) {
+        if (arc.head == p.vertices[k + 1]) best = std::min(best, arc.cost);
+      }
+      ASSERT_LT(best, kInfiniteCost)
+          << "fabricated arc " << p.vertices[k] << "->" << p.vertices[k + 1];
+      acc += best;
+    }
+    EXPECT_NEAR(acc, ref, 1e-9) << s << "->" << t;
+    EXPECT_NEAR(p.cost, ref, 1e-9) << s << "->" << t;
+    ++valid_paths;
+  }
+  EXPECT_GT(valid_paths, 0);
+}
+
 TEST(BidirectionalTest, SettlesFewerVerticesThanDijkstra) {
   GridCityOptions opt;
   opt.rows = 24;

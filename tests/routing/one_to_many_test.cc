@@ -1,0 +1,203 @@
+#include "routing/one_to_many.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+namespace {
+
+RoadNetwork MakeNet(uint64_t seed, double one_way = 0.0) {
+  GridCityOptions opt;
+  opt.rows = 13;
+  opt.cols = 13;
+  opt.seed = seed;
+  opt.one_way_fraction = one_way;
+  return MakeGridCity(opt);
+}
+
+// The whole point of the batched layer: values must equal the full
+// one-to-all row BIT FOR BIT, not just within a tolerance — otherwise
+// batched and per-pair runs could diverge on deadline-edge insertions.
+TEST(OneToManySearchTest, MatchesFullDijkstraRowBitwise) {
+  RoadNetwork net = MakeNet(21, /*one_way=*/0.3);
+  OneToManySearch sweep(net);
+  DijkstraSearch dijkstra(net);
+  Rng rng(211);
+  std::vector<VertexId> targets;
+  std::vector<Seconds> got;
+  for (int round = 0; round < 40; ++round) {
+    VertexId source = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    targets.clear();
+    int n = static_cast<int>(rng.NextInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      targets.push_back(VertexId(rng.NextInt(0, net.num_vertices() - 1)));
+    }
+    targets.push_back(source);      // self target
+    targets.push_back(targets[0]);  // duplicate target
+    sweep.CostsTo(source, targets, &got);
+    ASSERT_EQ(got.size(), targets.size());
+    std::vector<Seconds> row = dijkstra.CostsFrom(source);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      EXPECT_EQ(got[i], row[targets[i]])  // exact, no tolerance
+          << source << "->" << targets[i];
+    }
+    EXPECT_GT(sweep.last_settled_count(), 0);
+    EXPECT_LE(sweep.last_settled_count(), net.num_vertices());
+  }
+}
+
+TEST(OneToManySearchTest, TruncatesBeforeSettlingEverything) {
+  RoadNetwork net = MakeNet(22);
+  OneToManySearch sweep(net);
+  std::vector<Seconds> got;
+  // A target adjacent to the source settles after a handful of vertices.
+  VertexId source = 0;
+  VertexId near = net.OutArcs(source)[0].head;
+  std::vector<VertexId> targets{near};
+  sweep.CostsTo(source, targets, &got);
+  EXPECT_LT(sweep.last_settled_count(), net.num_vertices() / 2);
+}
+
+TEST(DistanceOracleTest, CostManyMatchesCostBitwiseInBothModes) {
+  RoadNetwork net = MakeNet(23, /*one_way=*/0.2);
+  OracleOptions exact_opts;
+  DistanceOracle exact(net, exact_opts);
+  OracleOptions lru_opts;
+  lru_opts.max_exact_vertices = 0;  // force the LRU row-cache backend
+  DistanceOracle lru(net, lru_opts);
+  ASSERT_TRUE(exact.exact_mode());
+  ASSERT_FALSE(lru.exact_mode());
+
+  Rng rng(231);
+  std::vector<VertexId> targets;
+  std::vector<Seconds> got;
+  for (int round = 0; round < 20; ++round) {
+    VertexId source = VertexId(rng.NextInt(0, net.num_vertices() - 1));
+    targets.clear();
+    for (int i = 0; i < 8; ++i) {
+      targets.push_back(VertexId(rng.NextInt(0, net.num_vertices() - 1)));
+    }
+    for (DistanceOracle* oracle : {&exact, &lru}) {
+      oracle->CostMany(source, targets, &got);
+      ASSERT_EQ(got.size(), targets.size());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        EXPECT_EQ(got[i], oracle->Cost(source, targets[i]));
+      }
+    }
+  }
+}
+
+TEST(DistanceOracleTest, CostManyCountsOneQueryAndOneBatch) {
+  RoadNetwork net = MakeNet(24);
+  DistanceOracle oracle(net);
+  std::vector<VertexId> targets{1, 2, 3, 4, 5};
+  std::vector<Seconds> got;
+  int64_t q0 = oracle.queries();
+  oracle.CostMany(0, targets, &got);
+  EXPECT_EQ(oracle.queries() - q0, 1);
+  EXPECT_EQ(oracle.batch_queries(), 1);
+  // The counter invariant the oracle documents: row traffic never exceeds
+  // queries.
+  EXPECT_LE(oracle.row_hits() + oracle.row_misses(), oracle.queries());
+}
+
+class InsertionCostBatchTest : public ::testing::TestWithParam<bool> {
+ protected:
+  InsertionCostBatchTest() : net_(MakeNet(25, /*one_way=*/0.25)) {
+    OracleOptions opts;
+    if (GetParam()) opts.max_exact_vertices = 0;  // LRU mode
+    oracle_ = std::make_unique<DistanceOracle>(net_, opts);
+    reference_ = std::make_unique<DistanceOracle>(net_, opts);
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<DistanceOracle> oracle_;
+  std::unique_ptr<DistanceOracle> reference_;
+};
+
+TEST_P(InsertionCostBatchTest, PrimedLegsMatchOracleBitwiseWithNoFallbacks) {
+  InsertionCostBatch batch(net_, oracle_.get());
+  Rng rng(251);
+  for (int round = 0; round < 15; ++round) {
+    VertexId origin = VertexId(rng.NextInt(0, net_.num_vertices() - 1));
+    VertexId dest = VertexId(rng.NextInt(0, net_.num_vertices() - 1));
+    batch.Begin(origin, dest);
+    // A few candidate walks: taxi location followed by schedule stops.
+    std::vector<std::vector<VertexId>> walks;
+    for (int c = 0; c < 4; ++c) {
+      std::vector<VertexId> walk;
+      int stops = static_cast<int>(rng.NextInt(1, 6));
+      for (int s = 0; s < stops; ++s) {
+        walk.push_back(VertexId(rng.NextInt(0, net_.num_vertices() - 1)));
+      }
+      batch.AddCandidate(walk);
+      walks.push_back(std::move(walk));
+    }
+    batch.Prime();
+
+    // Every leg an insertion DP can request over these walks: endpoint
+    // fans, stop->endpoint legs, and base-adjacent stop pairs.
+    auto check = [&](VertexId a, VertexId b) {
+      EXPECT_EQ(batch.Cost(a, b), reference_->Cost(a, b))
+          << a << "->" << b << " lru=" << GetParam();
+    };
+    check(origin, dest);
+    for (const std::vector<VertexId>& walk : walks) {
+      for (size_t i = 0; i < walk.size(); ++i) {
+        check(origin, walk[i]);
+        check(dest, walk[i]);
+        check(walk[i], origin);
+        check(walk[i], dest);
+        if (i + 1 < walk.size()) check(walk[i], walk[i + 1]);
+      }
+    }
+    EXPECT_EQ(batch.stats().fallback_queries, 0) << "round " << round;
+  }
+  BatchRoutingStats stats = batch.stats();
+  EXPECT_GT(stats.batch_queries, 0);
+  if (GetParam()) {
+    // LRU mode services the endpoint fans with truncated sweeps.
+    EXPECT_GT(stats.settled_vertices, 0);
+  } else {
+    EXPECT_EQ(stats.settled_vertices, 0);
+  }
+}
+
+TEST_P(InsertionCostBatchTest, IncrementalPrimingCoversLaterCandidates) {
+  // T-Share's usage pattern: Begin once, then AddCandidate + Prime per
+  // candidate, with overlapping stop sets between candidates.
+  InsertionCostBatch batch(net_, oracle_.get());
+  VertexId origin = 3;
+  VertexId dest = 90;
+  batch.Begin(origin, dest);
+  std::vector<VertexId> first{10, 20, 30};
+  std::vector<VertexId> second{20, 30, 40};  // shares stops with `first`
+  batch.AddCandidate(first);
+  batch.Prime();
+  batch.AddCandidate(second);
+  batch.Prime();
+  for (VertexId s : second) {
+    EXPECT_EQ(batch.Cost(origin, s), reference_->Cost(origin, s));
+    EXPECT_EQ(batch.Cost(s, dest), reference_->Cost(s, dest));
+  }
+  EXPECT_EQ(batch.Cost(VertexId{20}, VertexId{30}),
+            reference_->Cost(VertexId{20}, VertexId{30}));
+  EXPECT_EQ(batch.Cost(VertexId{30}, VertexId{40}),
+            reference_->Cost(VertexId{30}, VertexId{40}));
+  EXPECT_EQ(batch.stats().fallback_queries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactAndLru, InsertionCostBatchTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "LruMode" : "ExactMode";
+                         });
+
+}  // namespace
+}  // namespace mtshare

@@ -128,5 +128,61 @@ TEST_F(PartitionFilterTest, MaskCoversExactlyKeptPartitions) {
               double(expected) / net_.num_vertices(), 1e-12);
 }
 
+TEST(PartitionFilterCraftedTest, DirectionAndCostRulesOnLineCity) {
+  // Hand-built line city where both Algorithm 2 rules have exact, known
+  // outcomes: 20 vertices on a line, 100 s per hop, four partitions of
+  // five consecutive vertices (landmark = middle vertex by medoid).
+  RoadNetwork::Builder b(1.0);
+  for (int i = 0; i < 20; ++i) b.AddVertex({100.0 * i, 0.0});
+  for (int i = 0; i + 1 < 20; ++i) {
+    b.AddEdge(i, i + 1, 100.0);
+    b.AddEdge(i + 1, i, 100.0);
+  }
+  RoadNetwork net = b.Build();
+
+  MapPartitioning parts;
+  parts.vertex_partition.resize(20);
+  parts.partition_vertices.resize(4);
+  for (VertexId v = 0; v < 20; ++v) {
+    parts.vertex_partition[v] = v / 5;
+    parts.partition_vertices[v / 5].push_back(v);
+  }
+  FinalizeGeometry(net, &parts);
+  LandmarkGraph lg(net, parts);
+  PartitionFilter filter(net, parts, lg, /*lambda=*/0.5, /*epsilon=*/0.5);
+
+  auto contains = [](const std::vector<PartitionId>& kept, PartitionId p) {
+    return std::find(kept.begin(), kept.end(), p) != kept.end();
+  };
+
+  // Eastbound leg partition 0 -> 2. Partition 1 lies on the way: direction
+  // cosine exactly 1 and zero extra landmark cost, so both rules pass.
+  // Partition 3 is past the destination: direction passes (cosine 1) but
+  // the detour doubles the landmark cost — 2000 s via l3 vs 1000 s direct,
+  // above the (1 + 0.5) bound — so the COST rule alone must drop it.
+  std::vector<PartitionId> east = filter.Filter(2, 12);
+  EXPECT_TRUE(contains(east, 0));
+  EXPECT_TRUE(contains(east, 1));
+  EXPECT_TRUE(contains(east, 2));
+  EXPECT_FALSE(contains(east, 3));
+
+  // Westbound leg partition 2 -> 0. Partition 3 now lies *behind* the
+  // travel direction (cosine -1 < lambda): the DIRECTION rule alone drops
+  // it, and no epsilon can readmit it.
+  std::vector<PartitionId> west = filter.Filter(12, 2);
+  EXPECT_TRUE(contains(west, 1));
+  EXPECT_FALSE(contains(west, 3));
+  PartitionFilter loose(net, parts, lg, /*lambda=*/0.5, /*epsilon=*/10.0);
+  EXPECT_FALSE(contains(loose.Filter(12, 2), 3));
+
+  // Short leg partition 0 -> 1. Partition 2 passes direction but triples
+  // the landmark cost (1500 s via l2 vs 500 s direct): excluded at
+  // epsilon = 0.5, readmitted once epsilon is loose enough.
+  std::vector<PartitionId> short_leg = filter.Filter(2, 7);
+  EXPECT_FALSE(contains(short_leg, 2));
+  EXPECT_FALSE(contains(short_leg, 3));
+  EXPECT_TRUE(contains(loose.Filter(2, 7), 2));
+}
+
 }  // namespace
 }  // namespace mtshare

@@ -39,14 +39,23 @@ bool HasKey(const std::string& json, const std::string& key) {
 }
 
 void ValidateReportSchema(const std::string& json) {
-  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 1.0);
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 2.0);
   for (const char* key :
        {"experiment", "scheme", "window", "num_taxis", "num_requests",
         "seed", "requests", "response_ms", "waiting_min", "detour_min",
-        "candidates", "phases", "oracle", "index_memory_bytes",
+        "candidates", "phases", "oracle", "routing", "index_memory_bytes",
         "total_driver_income", "execution_seconds"}) {
     EXPECT_TRUE(HasKey(json, key)) << "missing top-level key " << key;
   }
+
+  // Batched-routing section (schema_version 2). Counters are cumulative
+  // and non-negative; fallbacks mean the priming fan missed a leg shape,
+  // which is a bug by construction.
+  for (const char* key : {"batched", "batch_queries", "settled_vertices",
+                          "lb_pruned", "fallback_queries"}) {
+    EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
+  }
+  EXPECT_EQ(NumberAfter(json, "routing", "fallback_queries"), 0.0);
 
   // Percentiles must be monotone within every distribution.
   for (const char* dist :
@@ -155,6 +164,12 @@ TEST_F(RunReportTest, SchemaIsValidForEveryScheme) {
       calls += NumberAfter(json, phase, "calls");
     }
     EXPECT_GT(calls, 0.0);
+    // Every sharing scheme goes through the batched insertion path by
+    // default (No-Sharing has no insertion fan-out to batch).
+    EXPECT_EQ(NumberAfter(json, "routing", "batched"), 1.0);
+    if (scheme != SchemeKind::kNoSharing) {
+      EXPECT_GT(NumberAfter(json, "routing", "batch_queries"), 0.0);
+    }
   }
 }
 

@@ -19,6 +19,8 @@
 //   --seed         RNG seed                (default 42)
 //   --threads      matching worker threads (default 1; 0 = all cores;
 //                  results identical for any value)
+//   --batched      batched insertion routing (default 1; 0 = per-pair
+//                  oracle queries; results identical either way)
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
 //   --per-request  write a per-request CSV record here
@@ -133,6 +135,7 @@ int main(int argc, char** argv) {
   config.rho = GetD(args, "rho", 1.3, &ok);
   config.taxi_capacity = GetCount(args, "capacity", 3, &ok);
   config.matching.gamma_max_m = GetD(args, "gamma", 2500.0, &ok);
+  config.matching.batched_routing = GetCount(args, "batched", 1, &ok) != 0;
   config.seed = seed;
 
   ScenarioOptions sopt;

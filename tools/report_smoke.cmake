@@ -15,9 +15,16 @@ if(NOT EXISTS "${REPORT_PATH}")
   message(FATAL_ERROR "report file was not written: ${REPORT_PATH}")
 endif()
 file(READ "${REPORT_PATH}" report)
-foreach(key "schema_version" "response_ms" "p95" "phases" "dispatch_total_ms")
+foreach(key "schema_version" "response_ms" "p95" "phases" "dispatch_total_ms"
+        "routing" "batch_queries" "settled_vertices" "lb_pruned"
+        "fallback_queries")
   if(NOT report MATCHES "\"${key}\"")
     message(FATAL_ERROR "report missing key '${key}':\n${report}")
   endif()
 endforeach()
+# A batched-routing miss during insertion means the priming fan has a
+# coverage hole; fail the smoke loudly rather than silently degrade.
+if(NOT report MATCHES "\"fallback_queries\": *0[,\n}]")
+  message(FATAL_ERROR "report shows nonzero fallback_queries:\n${report}")
+endif()
 file(REMOVE "${REPORT_PATH}")

@@ -3,37 +3,50 @@
 #   1. configure + build the default preset, run the tier-1 ctest suite
 #   2. configure + build the tsan preset, run the `tsan`-labelled tests
 #      (thread pool, sharded LRU, parallel scenario sweeps)
-#   3. smoke-run mtshare_sim --report and check the JSON schema marker
+#   3. configure + build the asan preset, run the full suite under
+#      AddressSanitizer + LeakSanitizer
+#   4. smoke-run mtshare_sim --report and check the JSON schema marker
 #
 # Run from the repo root:  tools/run_checks.sh
 # Also reachable as:       cmake --build build --target check
 # Skip the tsan leg (e.g. on toolchains without libtsan): MTSHARE_SKIP_TSAN=1
+# Skip the asan leg likewise:                             MTSHARE_SKIP_ASAN=1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${MTSHARE_CHECK_JOBS:-$(nproc)}
 
-echo "==> [1/3] default preset: build + tier-1 tests"
+echo "==> [1/4] default preset: build + tier-1 tests"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
 if [[ "${MTSHARE_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "==> [2/3] tsan preset: build + concurrency tests"
+  echo "==> [2/4] tsan preset: build + concurrency tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS" --target mtshare_thread_tests
   ctest --preset tsan -j "$JOBS"
 else
-  echo "==> [2/3] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
+  echo "==> [2/4] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
 fi
 
-echo "==> [3/3] run-report smoke"
+if [[ "${MTSHARE_SKIP_ASAN:-0}" != "1" ]]; then
+  echo "==> [3/4] asan preset: build + full suite under ASan/LSan"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$JOBS" --target mtshare_tests mtshare_thread_tests mtshare_sim_cli
+  ctest --preset asan -j "$JOBS"
+else
+  echo "==> [3/4] asan preset: skipped (MTSHARE_SKIP_ASAN=1)"
+fi
+
+echo "==> [4/4] run-report smoke"
 report=$(mktemp /tmp/mtshare_report.XXXXXX.json)
 trap 'rm -f "$report"' EXIT
 build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
   --taxis=15 --requests=80 --report="$report" >/dev/null
 grep -q '"schema_version"' "$report"
 grep -q '"dispatch_total_ms"' "$report"
+grep -q '"batch_queries"' "$report"
 echo "report OK: $report"
 
 echo "all checks passed"
