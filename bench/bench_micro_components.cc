@@ -6,6 +6,7 @@
 // O(1); the DP insertion removes an O(m) factor.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
 
 #include "clustering/kmeans.h"
@@ -76,6 +77,36 @@ void BM_OracleCost(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OracleCost);
+
+// Head-to-head of the three oracle backends on the dispatch-batch shape:
+// one cold-ish point query plus an 8x16 many-to-many block per iteration.
+// Exact amortizes to table lookups, LRU pays row passes on eviction, CH
+// pays two upward sweeps per point query and |S|+|T| sweeps per block.
+void BM_OracleBackends(benchmark::State& state) {
+  OracleOptions oopt;
+  oopt.backend = static_cast<OracleBackend>(state.range(0));
+  static std::map<int64_t, std::unique_ptr<DistanceOracle>> oracles;
+  std::unique_ptr<DistanceOracle>& oracle = oracles[state.range(0)];
+  if (!oracle) oracle = std::make_unique<DistanceOracle>(Net(), oopt);
+  Rng rng(23);
+  std::vector<VertexId> sources, targets;
+  std::vector<Seconds> out;
+  for (auto _ : state) {
+    auto [a, b] = RandomPair(rng);
+    benchmark::DoNotOptimize(oracle->Cost(a, b));
+    sources.clear();
+    targets.clear();
+    for (int i = 0; i < 8; ++i) sources.push_back(RandomPair(rng).first);
+    for (int i = 0; i < 16; ++i) targets.push_back(RandomPair(rng).second);
+    oracle->CostManyToMany(sources, targets, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(OracleBackendName(oracle->backend()));
+}
+BENCHMARK(BM_OracleBackends)
+    ->Arg(int(OracleBackend::kExact))
+    ->Arg(int(OracleBackend::kLru))
+    ->Arg(int(OracleBackend::kCh));
 
 void BM_FilteredBasicLeg(benchmark::State& state) {
   static MapPartitioning partitioning = GridPartition(Net(), 64);

@@ -31,5 +31,15 @@ int main() {
   std::printf("\n(shared = map partitioning + landmark graph + transition "
               "statistics;\n the all-pairs travel-cost cache is common to "
               "every scheme, as in the paper)\n");
+  DistanceOracle& oracle = env.system().oracle();
+  std::printf("\nrouting backend: %s — oracle memory %.1f KiB",
+              OracleBackendName(oracle.backend()),
+              oracle.MemoryBytes() / 1024.0);
+  if (oracle.backend() == OracleBackend::kCh) {
+    std::printf(" (CH index: %lld shortcuts, built in %.0f ms)",
+                static_cast<long long>(oracle.ch_build_stats().shortcuts_added),
+                oracle.ch_build_stats().preprocessing_ms);
+  }
+  std::printf("\n");
   return 0;
 }

@@ -105,38 +105,53 @@ MTShareSystem::MTShareSystem(const RoadNetwork& network,
   transitions_ = TransitionModel::Build(
       network.num_vertices(), partitioning_.num_partitions(),
       partitioning_.vertex_partition, historical_trips);
-  oracle_ = std::make_unique<DistanceOracle>(network);
+  oracle_ = std::make_unique<DistanceOracle>(network, config.oracle);
+}
+
+DistanceOracle* MTShareSystem::OracleFor(OracleBackend backend) {
+  if (backend == OracleBackend::kAuto || backend == oracle_->backend()) {
+    return oracle_.get();
+  }
+  std::lock_guard<std::mutex> lock(extra_oracle_mutex_);
+  std::unique_ptr<DistanceOracle>& slot =
+      extra_oracles_[static_cast<size_t>(backend)];
+  if (slot == nullptr) {
+    OracleOptions opts = config_.oracle;
+    opts.backend = backend;
+    slot = std::make_unique<DistanceOracle>(network_, opts);
+  }
+  return slot.get();
 }
 
 std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
-    SchemeKind scheme, std::vector<TaxiState>* fleet) {
+    SchemeKind scheme, std::vector<TaxiState>* fleet, DistanceOracle* oracle) {
+  if (oracle == nullptr) oracle = oracle_.get();
   MatchingConfig mc = config_.matching;
   switch (scheme) {
     case SchemeKind::kNoSharing:
-      return std::make_unique<NoSharingDispatcher>(network_, oracle_.get(),
-                                                   fleet, mc);
+      return std::make_unique<NoSharingDispatcher>(network_, oracle, fleet,
+                                                   mc);
     case SchemeKind::kTShare: {
-      auto d = std::make_unique<TShareDispatcher>(network_, oracle_.get(),
-                                                  fleet, mc);
+      auto d = std::make_unique<TShareDispatcher>(network_, oracle, fleet, mc);
       d->EnableLowerBoundPruning(landmarks_.get());
       return d;
     }
     case SchemeKind::kPGreedyDp: {
-      auto d = std::make_unique<PGreedyDpDispatcher>(network_, oracle_.get(),
-                                                     fleet, mc);
+      auto d = std::make_unique<PGreedyDpDispatcher>(network_, oracle, fleet,
+                                                     mc);
       d->EnableLowerBoundPruning(landmarks_.get());
       return d;
     }
     case SchemeKind::kMtShare:
       mc.probabilistic = false;
-      return std::make_unique<MtShareDispatcher>(network_, oracle_.get(),
-                                                 fleet, mc, partitioning_,
-                                                 *landmarks_, &transitions_);
+      return std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
+                                                 partitioning_, *landmarks_,
+                                                 &transitions_);
     case SchemeKind::kMtSharePro:
       mc.probabilistic = true;
-      return std::make_unique<MtShareDispatcher>(network_, oracle_.get(),
-                                                 fleet, mc, partitioning_,
-                                                 *landmarks_, &transitions_);
+      return std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
+                                                 partitioning_, *landmarks_,
+                                                 &transitions_);
   }
   MTSHARE_CHECK(false);
   return nullptr;
@@ -149,7 +164,9 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   std::vector<TaxiState> fleet =
       MakeFleet(network_, spec.num_taxis, config_.taxi_capacity,
                 spec.fleet_seed, start_time);
-  std::unique_ptr<Dispatcher> dispatcher = MakeDispatcher(spec.scheme, &fleet);
+  DistanceOracle* oracle = OracleFor(spec.oracle_backend);
+  std::unique_ptr<Dispatcher> dispatcher =
+      MakeDispatcher(spec.scheme, &fleet, oracle);
   dispatcher->EnablePhaseTiming(spec.collect_phase_timing);
 
   // One pool per run: startup is microseconds against multi-second runs,
@@ -167,13 +184,27 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   eopts.payment = config_.payment;
   SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
 
-  const int64_t q0 = oracle_->queries();
-  const int64_t h0 = oracle_->row_hits();
-  const int64_t m0 = oracle_->row_misses();
+  const int64_t q0 = oracle->queries();
+  const int64_t h0 = oracle->row_hits();
+  const int64_t m0 = oracle->row_misses();
+  const ChQueryStats ch0 = oracle->ch_query_stats();
   Metrics metrics = engine.Run(requests);
-  metrics.oracle_queries = oracle_->queries() - q0;
-  metrics.oracle_row_hits = oracle_->row_hits() - h0;
-  metrics.oracle_row_misses = oracle_->row_misses() - m0;
+  metrics.oracle_queries = oracle->queries() - q0;
+  metrics.oracle_row_hits = oracle->row_hits() - h0;
+  metrics.oracle_row_misses = oracle->row_misses() - m0;
+  metrics.oracle_backend = OracleBackendName(oracle->backend());
+  // CH counters, as deltas of the shared oracle (its engines are all
+  // checked back into the pool between dispatches, so the totals are
+  // quiescent here). Preprocessing cost is per oracle, not per run.
+  const ChQueryStats ch1 = oracle->ch_query_stats();
+  metrics.routing.ch_active = oracle->backend() == OracleBackend::kCh;
+  metrics.routing.ch_shortcuts = oracle->ch_build_stats().shortcuts_added;
+  metrics.routing.ch_preprocessing_ms =
+      oracle->ch_build_stats().preprocessing_ms;
+  metrics.routing.ch_point_queries = ch1.point_queries - ch0.point_queries;
+  metrics.routing.ch_bucket_queries = ch1.bucket_queries - ch0.bucket_queries;
+  metrics.routing.ch_upward_settled = ch1.upward_settled - ch0.upward_settled;
+  metrics.routing.ch_bucket_entries = ch1.bucket_entries - ch0.bucket_entries;
   return metrics;
 }
 

@@ -1,7 +1,9 @@
 #ifndef MTSHARE_CORE_MTSHARE_SYSTEM_H_
 #define MTSHARE_CORE_MTSHARE_SYSTEM_H_
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -58,6 +60,13 @@ struct ScenarioSpec {
   /// dispatch; set false to shave even that from latency-critical runs.
   bool collect_phase_timing = true;
 
+  /// Distance-oracle backend for this run. kAuto uses the system's default
+  /// oracle (built from SystemConfig::oracle); any other value selects a
+  /// per-backend oracle the system builds lazily on first use and then
+  /// shares across runs (backend comparison sweeps pay CH preprocessing
+  /// once, not per run).
+  OracleBackend oracle_backend = OracleBackend::kAuto;
+
   /// OK, or the first violated constraint.
   Status Validate() const;
 };
@@ -106,8 +115,15 @@ class MTShareSystem {
                       bool serve_offline = true);
 
   /// Creates a dispatcher bound to `fleet` (advanced use: custom engines).
+  /// `oracle` = nullptr uses the system's default oracle.
   std::unique_ptr<Dispatcher> MakeDispatcher(SchemeKind scheme,
-                                             std::vector<TaxiState>* fleet);
+                                             std::vector<TaxiState>* fleet,
+                                             DistanceOracle* oracle = nullptr);
+
+  /// The oracle serving `backend` (kAuto = the system default). Non-default
+  /// backends are built lazily on first use and cached; safe to call from
+  /// concurrent RunScenario invocations.
+  DistanceOracle* OracleFor(OracleBackend backend);
 
   const RoadNetwork& network() const { return network_; }
   const MapPartitioning& partitioning() const { return partitioning_; }
@@ -136,6 +152,12 @@ class MTShareSystem {
   std::unique_ptr<LandmarkGraph> landmarks_;
   TransitionModel transitions_;
   std::unique_ptr<DistanceOracle> oracle_;
+
+  /// Lazily built per-backend oracles for ScenarioSpec::oracle_backend
+  /// overrides, indexed by OracleBackend value; creation serializes behind
+  /// the mutex so concurrent runs race safely.
+  std::mutex extra_oracle_mutex_;
+  std::array<std::unique_ptr<DistanceOracle>, 4> extra_oracles_;
 };
 
 }  // namespace mtshare

@@ -30,6 +30,25 @@ Status SystemConfig::Validate() const {
   if (matching.tmp <= 0.0) {
     return Status::InvalidArgument("T_mp must be positive");
   }
+  // Oracle sizing: each of these used to be consumed unchecked (a zero or
+  // negative shard count, say, reached ShardedLruCache as UB); reject them
+  // here so MTShareSystem::Create reports instead of misbehaving.
+  if (oracle.max_exact_vertices <= 0) {
+    return Status::InvalidArgument("oracle.max_exact_vertices must be positive");
+  }
+  if (oracle.lru_rows <= 0) {
+    return Status::InvalidArgument("oracle.lru_rows must be positive");
+  }
+  if (oracle.lru_shards <= 0) {
+    return Status::InvalidArgument("oracle.lru_shards must be positive");
+  }
+  if (oracle.ch.witness_settle_limit <= 0) {
+    return Status::InvalidArgument(
+        "oracle.ch.witness_settle_limit must be positive");
+  }
+  if (oracle.ch.threads < 0) {
+    return Status::InvalidArgument("oracle.ch.threads must be non-negative");
+  }
   if (payment.beta < 0.0 || payment.beta > 1.0) {
     return Status::InvalidArgument("beta must lie in [0, 1]");
   }

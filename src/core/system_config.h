@@ -8,6 +8,7 @@
 #include "matching/dispatcher.h"
 #include "partition/bipartite_partitioner.h"
 #include "payment/payment_model.h"
+#include "routing/distance_oracle.h"
 
 namespace mtshare {
 
@@ -17,6 +18,10 @@ namespace mtshare {
 struct SystemConfig {
   // --- matching / routing (Table II) ---
   MatchingConfig matching;
+
+  /// Distance-oracle backend and sizing (exact table / LRU rows /
+  /// contraction hierarchy; kAuto picks by graph size).
+  OracleOptions oracle;
 
   // --- map partitioning ---
   /// Number of spatial partitions kappa (paper sweeps 50-250; our scaled

@@ -35,7 +35,8 @@ void RoadNetwork::Builder::AddEdge(VertexId u, VertexId v, double length_m,
   MTSHARE_CHECK(speed_factor > 0.0);
   max_speed_factor_ = std::max(max_speed_factor_, speed_factor);
   edges_.push_back(
-      RawEdge{u, v, length_m, length_m / (speed_mps_ * speed_factor)});
+      RawEdge{u, v, length_m,
+              QuantizeTravelCost(length_m / (speed_mps_ * speed_factor))});
 }
 
 void RoadNetwork::Builder::AddBidirectionalEdge(VertexId u, VertexId v,

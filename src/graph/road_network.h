@@ -1,6 +1,7 @@
 #ifndef MTSHARE_GRAPH_ROAD_NETWORK_H_
 #define MTSHARE_GRAPH_ROAD_NETWORK_H_
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,30 @@
 #include "geo/latlng.h"
 
 namespace mtshare {
+
+/// Travel costs are snapped to this grid (2^-20 s, ~1 microsecond) when a
+/// network is built. Because every arc cost is then an integer multiple of
+/// a power of two, and any realistic path sum stays far below 2^33 seconds,
+/// every partial sum of arc costs is exactly representable in a double and
+/// floating-point addition over costs is *associative*. That makes every
+/// routing backend (Dijkstra rows, truncated one-to-many sweeps, and the
+/// contraction-hierarchy searches, whose shortcut sums associate
+/// differently) return bit-identical costs — the invariant the oracle
+/// equivalence tests pin. The snap moves each arc by at most 2^-21 s of
+/// travel time, far below anything the simulation can observe.
+inline constexpr double kCostQuantumScale = 1048576.0;  // 2^20
+
+/// Rounds `cost` to the nearest multiple of the cost quantum (minimum one
+/// quantum, so arc costs stay strictly positive). Idempotent.
+inline Seconds QuantizeTravelCost(Seconds cost) {
+  double scaled = cost * kCostQuantumScale;
+  // Beyond 2^53 the scaled value has no fractional part anyway (and such a
+  // cost — >272 years of travel — is out of the exactness envelope).
+  if (!(scaled < 9007199254740992.0)) return cost;
+  double snapped = std::round(scaled);
+  if (snapped < 1.0) snapped = 1.0;
+  return snapped / kCostQuantumScale;
+}
 
 /// An outgoing (or incoming) road segment in adjacency order.
 struct Arc {

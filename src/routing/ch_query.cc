@@ -1,0 +1,209 @@
+#include "routing/ch_query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtshare {
+
+ChQuery::ChQuery(const ContractionHierarchy& ch) : ch_(ch) {
+  const int32_t n = ch_.num_vertices();
+  dist_f_.assign(n, 0.0);
+  epoch_f_.assign(n, 0);
+  dist_b_.assign(n, 0.0);
+  epoch_b_.assign(n, 0);
+  buckets_.resize(n);
+  bucket_epoch_.assign(n, 0);
+  target_slot_.assign(n, 0);
+  target_slot_epoch_.assign(n, 0);
+}
+
+void ChQuery::BumpEpoch() {
+  ++epoch_id_;
+  if (epoch_id_ == 0) {  // wrapped: hard reset so stale stamps cannot match
+    std::fill(epoch_f_.begin(), epoch_f_.end(), 0);
+    std::fill(epoch_b_.begin(), epoch_b_.end(), 0);
+    epoch_id_ = 1;
+  }
+}
+
+Seconds ChQuery::Cost(VertexId source, VertexId target) {
+  ++stats_.point_queries;
+  if (source == target) return 0.0;
+
+  // Forward upward search from the source, run to exhaustion. Upward search
+  // spaces are tiny (hundreds of vertices on road-like graphs), and final
+  // distances let the backward pass prune against an exact best-so-far.
+  BumpEpoch();
+  while (!queue_f_.empty()) queue_f_.pop();
+  dist_f_[source] = 0.0;
+  epoch_f_[source] = epoch_id_;
+  queue_f_.push({0.0, source});
+  while (!queue_f_.empty()) {
+    auto [cost, v] = queue_f_.top();
+    queue_f_.pop();
+    if (cost > dist_f_[v]) continue;
+    ++stats_.upward_settled;
+    for (const ContractionHierarchy::SearchArc& arc : ch_.UpArcs(v)) {
+      Seconds cand = cost + arc.cost;
+      if (epoch_f_[arc.head] != epoch_id_ || cand < dist_f_[arc.head]) {
+        epoch_f_[arc.head] = epoch_id_;
+        dist_f_[arc.head] = cand;
+        queue_f_.push({cand, arc.head});
+      }
+    }
+  }
+
+  // Backward upward search from the target over the down-graph, pruned once
+  // it can no longer beat the best meeting point.
+  Seconds best = kInfiniteCost;
+  while (!queue_b_.empty()) queue_b_.pop();
+  dist_b_[target] = 0.0;
+  epoch_b_[target] = epoch_id_;
+  queue_b_.push({0.0, target});
+  while (!queue_b_.empty()) {
+    auto [cost, v] = queue_b_.top();
+    queue_b_.pop();
+    if (cost >= best) break;
+    if (cost > dist_b_[v]) continue;
+    ++stats_.upward_settled;
+    if (epoch_f_[v] == epoch_id_) {
+      best = std::min(best, dist_f_[v] + cost);
+    }
+    for (const ContractionHierarchy::SearchArc& arc : ch_.DownArcs(v)) {
+      Seconds cand = cost + arc.cost;
+      if (epoch_b_[arc.head] != epoch_id_ || cand < dist_b_[arc.head]) {
+        epoch_b_[arc.head] = epoch_id_;
+        dist_b_[arc.head] = cand;
+        queue_b_.push({cand, arc.head});
+      }
+    }
+  }
+  return best;
+}
+
+void ChQuery::BuildBuckets(std::span<const VertexId> targets) {
+  ++bucket_epoch_id_;
+  if (bucket_epoch_id_ == 0) {
+    std::fill(bucket_epoch_.begin(), bucket_epoch_.end(), 0);
+    std::fill(target_slot_epoch_.begin(), target_slot_epoch_.end(), 0);
+    bucket_epoch_id_ = 1;
+  }
+  bucket_targets_.assign(targets.begin(), targets.end());
+  duplicate_targets_.clear();
+
+  for (int32_t i = 0; i < static_cast<int32_t>(bucket_targets_.size()); ++i) {
+    VertexId t = bucket_targets_[i];
+    if (target_slot_epoch_[t] == bucket_epoch_id_) {
+      // Repeated target: reuse the first occurrence's backward search and
+      // copy its answer per source sweep.
+      duplicate_targets_.push_back({target_slot_[t], i});
+      continue;
+    }
+    target_slot_epoch_[t] = bucket_epoch_id_;
+    target_slot_[t] = i;
+
+    // Backward upward search from t: every settled vertex v can reach t
+    // along a down-path of cost dist_b_[v]; deposit that into v's bucket.
+    BumpEpoch();
+    while (!queue_b_.empty()) queue_b_.pop();
+    dist_b_[t] = 0.0;
+    epoch_b_[t] = epoch_id_;
+    queue_b_.push({0.0, t});
+    while (!queue_b_.empty()) {
+      auto [cost, v] = queue_b_.top();
+      queue_b_.pop();
+      if (cost > dist_b_[v]) continue;
+      ++stats_.upward_settled;
+      if (bucket_epoch_[v] != bucket_epoch_id_) {
+        bucket_epoch_[v] = bucket_epoch_id_;
+        buckets_[v].clear();
+      }
+      buckets_[v].push_back({i, cost});
+      ++stats_.bucket_entries;
+      for (const ContractionHierarchy::SearchArc& arc : ch_.DownArcs(v)) {
+        Seconds cand = cost + arc.cost;
+        if (epoch_b_[arc.head] != epoch_id_ || cand < dist_b_[arc.head]) {
+          epoch_b_[arc.head] = epoch_id_;
+          dist_b_[arc.head] = cand;
+          queue_b_.push({cand, arc.head});
+        }
+      }
+    }
+  }
+}
+
+void ChQuery::SourceToBuckets(VertexId source, std::vector<Seconds>* out) {
+  out->assign(bucket_targets_.size(), kInfiniteCost);
+
+  BumpEpoch();
+  while (!queue_f_.empty()) queue_f_.pop();
+  dist_f_[source] = 0.0;
+  epoch_f_[source] = epoch_id_;
+  queue_f_.push({0.0, source});
+  while (!queue_f_.empty()) {
+    auto [cost, v] = queue_f_.top();
+    queue_f_.pop();
+    if (cost > dist_f_[v]) continue;
+    ++stats_.upward_settled;
+    if (bucket_epoch_[v] == bucket_epoch_id_) {
+      for (const BucketEntry& entry : buckets_[v]) {
+        // Exact dyadic costs make this sum exact, so the minimum over
+        // meeting vertices is the true shortest distance bit-for-bit.
+        Seconds cand = cost + entry.cost;
+        if (cand < (*out)[entry.target_index]) {
+          (*out)[entry.target_index] = cand;
+        }
+      }
+    }
+    for (const ContractionHierarchy::SearchArc& arc : ch_.UpArcs(v)) {
+      Seconds cand = cost + arc.cost;
+      if (epoch_f_[arc.head] != epoch_id_ || cand < dist_f_[arc.head]) {
+        epoch_f_[arc.head] = epoch_id_;
+        dist_f_[arc.head] = cand;
+        queue_f_.push({cand, arc.head});
+      }
+    }
+  }
+
+  for (const auto& [from, to] : duplicate_targets_) {
+    (*out)[to] = (*out)[from];
+  }
+}
+
+void ChQuery::CostMany(VertexId source, std::span<const VertexId> targets,
+                       std::vector<Seconds>* out) {
+  ++stats_.bucket_queries;
+  BuildBuckets(targets);
+  SourceToBuckets(source, out);
+}
+
+void ChQuery::CostManyToMany(std::span<const VertexId> sources,
+                             std::span<const VertexId> targets,
+                             std::vector<Seconds>* out) {
+  ++stats_.bucket_queries;
+  BuildBuckets(targets);
+  out->assign(sources.size() * targets.size(), kInfiniteCost);
+  for (size_t s = 0; s < sources.size(); ++s) {
+    SourceToBuckets(sources[s], &row_buf_);
+    std::copy(row_buf_.begin(), row_buf_.end(),
+              out->begin() + s * targets.size());
+  }
+}
+
+size_t ChQuery::MemoryBytes() const {
+  size_t bucket_bytes = 0;
+  for (const std::vector<BucketEntry>& bucket : buckets_) {
+    bucket_bytes += bucket.capacity() * sizeof(BucketEntry);
+  }
+  return bucket_bytes + buckets_.size() * sizeof(std::vector<BucketEntry>) +
+         (dist_f_.size() + dist_b_.size() + row_buf_.capacity()) *
+             sizeof(Seconds) +
+         (epoch_f_.size() + epoch_b_.size() + bucket_epoch_.size() +
+          target_slot_.size() + target_slot_epoch_.size()) *
+             sizeof(uint32_t) +
+         bucket_targets_.capacity() * sizeof(VertexId) +
+         duplicate_targets_.capacity() * sizeof(std::pair<int32_t, int32_t>);
+}
+
+}  // namespace mtshare

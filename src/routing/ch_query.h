@@ -1,0 +1,122 @@
+#ifndef MTSHARE_ROUTING_CH_QUERY_H_
+#define MTSHARE_ROUTING_CH_QUERY_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "routing/contraction_hierarchy.h"
+
+namespace mtshare {
+
+/// Work counters of one ChQuery engine since its last ResetStats(). The
+/// oracle aggregates these across its engine pool into Metrics::routing.
+struct ChQueryStats {
+  /// Bidirectional point queries answered.
+  int64_t point_queries = 0;
+  /// Bucket-based one-to-many / many-to-many passes answered.
+  int64_t bucket_queries = 0;
+  /// Vertices settled by upward searches (forward + backward, point and
+  /// bucket passes alike) — the CH counterpart of the truncated-Dijkstra
+  /// settled_vertices counter.
+  int64_t upward_settled = 0;
+  /// (vertex, target, distance) entries deposited into buckets.
+  int64_t bucket_entries = 0;
+};
+
+/// Query engine over a ContractionHierarchy: bidirectional upward point
+/// queries plus bucket-based one-to-many and many-to-many (settle each
+/// target's downward search into per-vertex buckets once, then answer
+/// every source with a single upward sweep — the insertion-evaluation
+/// workload of Laupichler & Sanders, arXiv:2311.01581).
+///
+/// Costs are bit-identical to DijkstraSearch on the same network because
+/// arc costs live on the exact dyadic grid (QuantizeTravelCost): every
+/// sum of arc/shortcut costs is exact, so the minimum over up-down paths
+/// equals the true shortest distance to the last bit.
+///
+/// Buffers are epoch-stamped and O(V); not thread-safe — one engine per
+/// thread (DistanceOracle keeps a pool).
+class ChQuery {
+ public:
+  explicit ChQuery(const ContractionHierarchy& ch);
+
+  /// Shortest travel time s -> t (kInfiniteCost if unreachable).
+  Seconds Cost(VertexId source, VertexId target);
+
+  /// Builds per-vertex buckets for `targets` (duplicates allowed): one
+  /// backward upward search per distinct target vertex. Buckets stay valid
+  /// until the next BuildBuckets() call on this engine.
+  void BuildBuckets(std::span<const VertexId> targets);
+
+  /// Costs from `source` to every target of the last BuildBuckets(),
+  /// aligned with that target span, via one forward upward sweep.
+  void SourceToBuckets(VertexId source, std::vector<Seconds>* out);
+
+  /// One-to-many: BuildBuckets(targets) + one sweep. Counts one bucket
+  /// pass.
+  void CostMany(VertexId source, std::span<const VertexId> targets,
+                std::vector<Seconds>* out);
+
+  /// Many-to-many: buckets once, one sweep per source. `out` is row-major
+  /// |sources| x |targets|. Counts one bucket pass.
+  void CostManyToMany(std::span<const VertexId> sources,
+                      std::span<const VertexId> targets,
+                      std::vector<Seconds>* out);
+
+  const ChQueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChQueryStats{}; }
+
+  /// Resident bytes of this engine's search buffers and buckets.
+  size_t MemoryBytes() const;
+
+ private:
+  struct QueueEntry {
+    Seconds cost;
+    VertexId vertex;
+    bool operator>(const QueueEntry& other) const {
+      return cost > other.cost;
+    }
+  };
+  using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                       std::greater<QueueEntry>>;
+  struct BucketEntry {
+    int32_t target_index;
+    Seconds cost;
+  };
+
+  void BumpEpoch();
+
+  const ContractionHierarchy& ch_;
+
+  // Forward (dist_f_) and backward (dist_b_) upward search state, valid
+  // iff the matching epoch entry equals epoch_id_.
+  std::vector<Seconds> dist_f_;
+  std::vector<uint32_t> epoch_f_;
+  std::vector<Seconds> dist_b_;
+  std::vector<uint32_t> epoch_b_;
+  uint32_t epoch_id_ = 0;
+  MinQueue queue_f_;
+  MinQueue queue_b_;
+
+  // Bucket state: buckets_[v] holds entries of the most recent
+  // BuildBuckets() iff bucket_epoch_[v] == bucket_epoch_id_.
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<uint32_t> bucket_epoch_;
+  uint32_t bucket_epoch_id_ = 0;
+  std::vector<VertexId> bucket_targets_;
+  // target vertex -> index of its first occurrence in bucket_targets_
+  // (duplicate targets share one backward search), epoch-stamped.
+  std::vector<int32_t> target_slot_;
+  std::vector<uint32_t> target_slot_epoch_;
+  // Deduplicated copy-list: for duplicate targets, (from, to) index pairs.
+  std::vector<std::pair<int32_t, int32_t>> duplicate_targets_;
+  std::vector<Seconds> row_buf_;
+
+  ChQueryStats stats_;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_ROUTING_CH_QUERY_H_

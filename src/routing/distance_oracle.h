@@ -5,18 +5,42 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/sharded_lru.h"
 #include "graph/road_network.h"
+#include "routing/ch_query.h"
+#include "routing/contraction_hierarchy.h"
 #include "routing/dijkstra.h"
 
 namespace mtshare {
 
+/// Which cost backend the oracle runs on. kAuto resolves by graph size:
+/// dense exact table when it fits (<= max_exact_vertices), contraction
+/// hierarchy otherwise. kLru keeps the pre-CH row-cache behavior for
+/// comparison runs and memory-constrained setups.
+enum class OracleBackend {
+  kAuto = 0,
+  kExact,
+  kLru,
+  kCh,
+};
+
+/// Lower-case stable name ("auto", "exact", "lru", "ch").
+const char* OracleBackendName(OracleBackend backend);
+
+/// Parses a backend name (as accepted by mtshare_sim --oracle=). Returns
+/// false on unknown names, leaving *out untouched.
+bool ParseOracleBackend(std::string_view name, OracleBackend* out);
+
 struct OracleOptions {
+  /// Backend selection; see OracleBackend.
+  OracleBackend backend = OracleBackend::kAuto;
+
   /// Networks up to this many vertices get a dense all-pairs table
   /// (the paper precomputes and caches all-pairs shortest paths,
-  /// Sec. V-A4); larger networks fall back to an LRU row cache.
+  /// Sec. V-A4); larger networks use the contraction hierarchy (kAuto).
   int32_t max_exact_vertices = 4200;
 
   /// Number of one-to-all rows retained in LRU mode.
@@ -25,19 +49,25 @@ struct OracleOptions {
   /// Mutex stripes of the LRU row cache (concurrent queries only contend
   /// when their source vertices hash to the same shard).
   int32_t lru_shards = 16;
+
+  /// Preprocessing knobs for the CH backend.
+  ChOptions ch;
 };
 
 /// Shortest-path *cost* oracle with O(1) amortized queries, mirroring the
 /// paper's assumption that "the shortest path query will take O(1) time"
-/// (Sec. IV-C). Exact dense table for small graphs; LRU-cached Dijkstra
-/// rows for large ones. Costs only — use DijkstraSearch/AStarSearch when
-/// the vertex sequence is needed.
+/// (Sec. IV-C). Three backends — exact dense table, LRU-cached Dijkstra
+/// rows, contraction hierarchy — all bit-identical in the costs they
+/// return (arc costs are dyadic, see QuantizeTravelCost). Costs only —
+/// use DijkstraSearch/AStarSearch when the vertex sequence is needed.
 ///
 /// Thread-safe: the parallel matching engine issues Cost() queries from
 /// every pool worker concurrently. Exact mode fills each row exactly once
 /// behind striped mutexes and publishes it with an atomic flag; LRU mode
-/// delegates to a sharded, mutex-striped LRU cache (ShardedLruCache).
-/// Hit/miss counters are atomics and surface through Metrics.
+/// delegates to a sharded, mutex-striped LRU cache (ShardedLruCache); CH
+/// mode checks stateful ChQuery engines in and out of a mutex-guarded
+/// pool (one engine per concurrently querying thread). Counters are
+/// atomics / pool-mutex-guarded sums and surface through Metrics.
 class DistanceOracle {
  public:
   DistanceOracle(const RoadNetwork& network, const OracleOptions& options = {});
@@ -48,46 +78,70 @@ class DistanceOracle {
 
   /// Batch query: costs from `source` to every target (aligned with
   /// `targets`; duplicates allowed), serviced with ONE pass through the
-  /// exact/LRU row backend. Counts as a single oracle query plus one
-  /// batch_queries tick, however many targets it serves. Each value is
-  /// bit-identical to Cost(source, target) for the same pair. Safe to call
-  /// from any thread.
+  /// backend (one row pass, or one CH bucket build + upward sweep). Counts
+  /// as a single oracle query plus one batch_queries tick, however many
+  /// targets it serves. Each value is bit-identical to Cost(source,
+  /// target) for the same pair. Safe to call from any thread.
   void CostMany(VertexId source, std::span<const VertexId> targets,
                 std::vector<Seconds>* out);
 
+  /// Many-to-many batch: row-major |sources| x |targets| cost matrix. In
+  /// CH mode the targets' buckets are built once and every source pays a
+  /// single upward sweep (the dispatch-batch workload); table/LRU modes
+  /// pay one row pass per source. Counts |sources| queries and one
+  /// batch_queries tick. Safe to call from any thread.
+  void CostManyToMany(std::span<const VertexId> sources,
+                      std::span<const VertexId> targets,
+                      std::vector<Seconds>* out);
+
   /// One-to-all row for `source`, exact mode only (rows are never evicted,
-  /// so the reference stays valid for the oracle's lifetime). LRU mode
-  /// callers must use RowPtr(), whose shared_ptr survives eviction.
+  /// so the reference stays valid for the oracle's lifetime). Other modes
+  /// must use RowPtr(), whose shared_ptr owns the row.
   const std::vector<Seconds>& Row(VertexId source);
 
-  /// One-to-all row for `source`; works in both modes and is safe against
-  /// concurrent eviction.
+  /// One-to-all row for `source`; works in every mode and is safe against
+  /// concurrent eviction. In CH mode each call computes a fresh Dijkstra
+  /// row (no row store exists), so batch callers should prefer
+  /// CostMany/CostManyToMany.
   std::shared_ptr<const std::vector<Seconds>> RowPtr(VertexId source);
 
-  bool exact_mode() const { return exact_mode_; }
+  /// Resolved backend (never kAuto).
+  OracleBackend backend() const { return backend_; }
+  bool exact_mode() const { return backend_ == OracleBackend::kExact; }
+
   int64_t queries() const {
     return queries_.load(std::memory_order_relaxed);
   }
-  /// CostMany calls serviced (each also counts as one query).
+  /// CostMany/CostManyToMany calls serviced.
   int64_t batch_queries() const {
     return batch_queries_.load(std::memory_order_relaxed);
   }
   /// Row-cache traffic: a hit served a query from a resident row, a miss
   /// paid a one-to-all Dijkstra. (Same-vertex queries short-circuit and
-  /// count toward neither.)
+  /// count toward neither; always zero in CH mode.)
   int64_t row_hits() const;
   int64_t row_misses() const;
 
-  /// Resident bytes of the table / cache (Tab. IV memory accounting).
+  /// CH work counters, aggregated over the engine pool (all zero outside
+  /// CH mode). Engines checked out mid-flight are not included, so read
+  /// these from quiescent moments (dispatch-batch boundaries).
+  ChQueryStats ch_query_stats() const;
+  /// CH preprocessing counters (zeros outside CH mode).
+  const ChBuildStats& ch_build_stats() const { return ch_build_stats_; }
+
+  /// Resident bytes of the table / cache / CH index incl. pooled query
+  /// engines (Tab. IV memory accounting).
   size_t MemoryBytes() const;
 
  private:
   std::vector<Seconds> ComputeRow(VertexId source) const;
   const std::vector<Seconds>& ExactRow(VertexId source);
+  std::unique_ptr<ChQuery> BorrowChEngine();
+  void ReturnChEngine(std::unique_ptr<ChQuery> engine);
 
   const RoadNetwork& network_;
   OracleOptions options_;
-  bool exact_mode_;
+  OracleBackend backend_;
 
   /// Exact mode: dense row-major table, filled lazily one row at a time
   /// (a fully eager fill would still be fine but wastes startup time when
@@ -102,6 +156,17 @@ class DistanceOracle {
 
   /// LRU mode.
   std::unique_ptr<ShardedLruCache<VertexId, std::vector<Seconds>>> cache_;
+
+  /// CH mode: immutable hierarchy + pool of per-thread query engines.
+  /// Returned engines fold their counters into ch_stats_total_ (guarded by
+  /// ch_pool_mutex_) and reset, so aggregation is O(1) per return.
+  std::unique_ptr<ContractionHierarchy> ch_;
+  ChBuildStats ch_build_stats_;
+  mutable std::mutex ch_pool_mutex_;
+  std::vector<std::unique_ptr<ChQuery>> ch_pool_;
+  ChQueryStats ch_stats_total_;
+  size_t ch_engines_created_ = 0;
+  size_t ch_engine_bytes_max_ = 0;
 
   std::atomic<int64_t> queries_{0};
   std::atomic<int64_t> batch_queries_{0};

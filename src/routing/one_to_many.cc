@@ -198,8 +198,62 @@ void InsertionCostBatch::FanFromEndpoint(VertexId endpoint,
   }
 }
 
+void InsertionCostBatch::GatherManyToMany(std::span<const VertexId> sources,
+                                          std::span<const VertexId> targets) {
+  if (sources.empty() || targets.empty()) return;
+  oracle_->CostManyToMany(sources, targets, &matrix_buf_);
+  ++batch_queries_;
+  size_t at = 0;
+  for (VertexId s : sources) {
+    for (VertexId t : targets) Store(s, t, matrix_buf_[at++]);
+  }
+}
+
+void InsertionCostBatch::PrimeCh() {
+  if (!pending_stops_.empty()) {
+    // Endpoint fan: both request endpoints against every fresh stop plus
+    // the endpoints themselves (covers origin->dest in the same pass).
+    target_buf_.assign(pending_stops_.begin(), pending_stops_.end());
+    target_buf_.push_back(origin_);
+    if (destination_ != origin_) target_buf_.push_back(destination_);
+    source_buf_.assign(1, origin_);
+    if (destination_ != origin_) source_buf_.push_back(destination_);
+    GatherManyToMany(source_buf_, target_buf_);
+    // Every stop also needs its costs *to* both request endpoints.
+    for (VertexId s : pending_stops_) {
+      int32_t c = cid_[s];
+      std::vector<VertexId>& succ = pending_succ_[c];
+      if (succ.empty()) pending_sources_.push_back(c);
+      succ.push_back(origin_);
+      succ.push_back(destination_);
+    }
+  }
+  if (!pending_sources_.empty()) {
+    // Per-stop fans, merged: the union of the successor lists becomes one
+    // bucket build, and each pending source pays a single upward sweep.
+    source_buf_.clear();
+    target_buf_.clear();
+    for (int32_t c : pending_sources_) {
+      source_buf_.push_back(cid_vertex_[c]);
+      std::vector<VertexId>& succ = pending_succ_[c];
+      target_buf_.insert(target_buf_.end(), succ.begin(), succ.end());
+      succ.clear();
+    }
+    std::sort(target_buf_.begin(), target_buf_.end());
+    target_buf_.erase(std::unique(target_buf_.begin(), target_buf_.end()),
+                      target_buf_.end());
+    GatherManyToMany(source_buf_, target_buf_);
+  }
+  pending_sources_.clear();
+  pending_stops_.clear();
+}
+
 void InsertionCostBatch::Prime() {
   if (pending_stops_.empty() && pending_sources_.empty()) return;
+  if (oracle_->backend() == OracleBackend::kCh) {
+    PrimeCh();
+    return;
+  }
   if (!pending_stops_.empty()) {
     // Origin/destination fans over the freshly seen stops. These sources
     // are one-shot per request, so in LRU mode a truncated sweep beats

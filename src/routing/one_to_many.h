@@ -29,6 +29,24 @@ struct BatchRoutingStats {
   /// a per-pair oracle query; expected 0 — nonzero means the priming
   /// coverage analysis in InsertionCostBatch is stale).
   int64_t fallback_queries = 0;
+
+  // --- contraction-hierarchy backend (all zero when it is not active) ---
+  /// Whether the oracle ran on the CH backend.
+  bool ch_active = false;
+  /// Shortcuts the preprocessing added on top of the road network.
+  int64_t ch_shortcuts = 0;
+  /// Wall-clock milliseconds of CH preprocessing (paid once at system
+  /// construction, not per run).
+  double ch_preprocessing_ms = 0.0;
+  /// Bidirectional point queries answered by CH engines.
+  int64_t ch_point_queries = 0;
+  /// Bucket-based one-to-many / many-to-many passes.
+  int64_t ch_bucket_queries = 0;
+  /// Vertices settled by CH upward searches — compare against
+  /// settled_vertices of the truncated-Dijkstra path.
+  int64_t ch_upward_settled = 0;
+  /// Entries deposited into CH buckets while priming batches.
+  int64_t ch_bucket_entries = 0;
 };
 
 /// Truncated Dijkstra: one forward search from `source` that stops as soon
@@ -143,6 +161,15 @@ class InsertionCostBatch {
   /// Request endpoints are one-shot sources: truncated sweep in LRU mode,
   /// resident-row gather in exact mode.
   void FanFromEndpoint(VertexId endpoint, std::span<const VertexId> targets);
+  /// CH-mode priming: the endpoint fan and the per-stop fans each become
+  /// one bucket-based many-to-many pass (targets' buckets built once, one
+  /// upward sweep per source).
+  void PrimeCh();
+  /// Fetches the full sources x targets matrix in one oracle pass and
+  /// stores every pair (a superset of the required legs; extra entries are
+  /// just as valid and keep fallback_queries at 0).
+  void GatherManyToMany(std::span<const VertexId> sources,
+                        std::span<const VertexId> targets);
 
   const RoadNetwork& network_;
   DistanceOracle* oracle_;
@@ -168,6 +195,8 @@ class InsertionCostBatch {
 
   std::vector<Seconds> row_buf_;
   std::vector<VertexId> target_buf_;
+  std::vector<VertexId> source_buf_;
+  std::vector<Seconds> matrix_buf_;
 
   mutable std::atomic<int64_t> fallback_queries_{0};
   int64_t batch_queries_ = 0;

@@ -2,6 +2,7 @@
 #define MTSHARE_SIM_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
@@ -91,6 +92,9 @@ class Metrics {
   int64_t oracle_queries = 0;
   int64_t oracle_row_hits = 0;
   int64_t oracle_row_misses = 0;
+  /// Resolved backend of the oracle that served the run ("exact", "lru",
+  /// "ch"); empty when the run bypassed RunScenario.
+  std::string oracle_backend;
   /// Total driver income accumulated across the fleet.
   double total_driver_income = 0.0;
   /// Wall-clock seconds of the whole run (paper Fig. 21a).

@@ -134,7 +134,7 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   JsonWriter w(indent);
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(2);
+  w.Int(3);
   w.Key("experiment");
   w.String(context.experiment);
   w.Key("scheme");
@@ -195,8 +195,11 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Double(m.offline_probe_ms);
   w.EndObject();
 
+  // schema_version 3 adds oracle.backend and the routing ch_* block.
   w.Key("oracle");
   w.BeginObject();
+  w.Key("backend");
+  w.String(m.oracle_backend);
   w.Key("queries");
   w.Int(m.oracle_queries);
   w.Key("row_hits");
@@ -205,11 +208,13 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Int(m.oracle_row_misses);
   w.EndObject();
 
-  // Batched insertion routing (schema_version 2): how many one-to-many
-  // passes replaced per-pair queries, the truncated-sweep work they paid,
-  // lower-bound-pruned candidates, and table misses that fell back to the
-  // oracle (expected 0 — a nonzero value means the priming fan missed a
-  // leg shape).
+  // Batched insertion routing: how many one-to-many passes replaced
+  // per-pair queries, the truncated-sweep work they paid, lower-bound-
+  // pruned candidates, and table misses that fell back to the oracle
+  // (expected 0 — a nonzero value means the priming fan missed a leg
+  // shape). The ch_* counters describe the contraction-hierarchy backend
+  // (all zero when routing ran on the table/LRU backends);
+  // ch_upward_settled is directly comparable to settled_vertices.
   w.Key("routing");
   w.BeginObject();
   w.Key("batched");
@@ -222,6 +227,20 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Int(m.routing.lb_pruned);
   w.Key("fallback_queries");
   w.Int(m.routing.fallback_queries);
+  w.Key("ch_active");
+  w.Int(m.routing.ch_active ? 1 : 0);
+  w.Key("ch_shortcuts");
+  w.Int(m.routing.ch_shortcuts);
+  w.Key("ch_preprocessing_ms");
+  w.Double(m.routing.ch_preprocessing_ms);
+  w.Key("ch_point_queries");
+  w.Int(m.routing.ch_point_queries);
+  w.Key("ch_bucket_queries");
+  w.Int(m.routing.ch_bucket_queries);
+  w.Key("ch_upward_settled");
+  w.Int(m.routing.ch_upward_settled);
+  w.Key("ch_bucket_entries");
+  w.Int(m.routing.ch_bucket_entries);
   w.EndObject();
 
   w.Key("index_memory_bytes");

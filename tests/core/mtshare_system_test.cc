@@ -35,6 +35,37 @@ TEST(SystemConfigTest, RejectsBadValues) {
   EXPECT_FALSE(c.Validate().ok());
 }
 
+TEST(SystemConfigTest, RejectsBadOracleOptions) {
+  // These previously reached the oracle unchecked (a non-positive shard
+  // count was UB in ShardedLruCache); Create must report them instead.
+  SystemConfig c;
+  c.oracle.lru_rows = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.oracle.lru_shards = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.oracle.max_exact_vertices = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.oracle.ch.witness_settle_limit = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SystemConfig{};
+  c.oracle.ch.threads = -2;
+  EXPECT_FALSE(c.Validate().ok());
+
+  GridCityOptions gopt;
+  gopt.rows = 6;
+  gopt.cols = 6;
+  RoadNetwork net = MakeGridCity(gopt);
+  SystemConfig bad;
+  bad.bipartite_partitioning = false;  // isolate the oracle failure
+  bad.oracle.lru_shards = 0;
+  auto result = MTShareSystem::Create(net, {}, bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SchemeNameTest, AllNamed) {
   EXPECT_STREQ(SchemeName(SchemeKind::kNoSharing), "No-Sharing");
   EXPECT_STREQ(SchemeName(SchemeKind::kTShare), "T-Share");
@@ -146,6 +177,49 @@ TEST_F(MTShareSystemTest, MoreTaxisServeMore) {
   Metrics large = system_->RunScenario(SchemeKind::kMtShare,
                                        scenario_.requests, 50);
   EXPECT_GE(large.ServedRequests(), small.ServedRequests());
+}
+
+TEST_F(MTShareSystemTest, ChBackendRunsBitIdenticalToExact) {
+  // The whole-system check of the CH contract: running the same scenario
+  // on the exact table and on the contraction hierarchy must produce the
+  // same simulation down to the last served request and fare (all leg
+  // costs are bit-identical, so every dispatch decision is too).
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario_.requests;
+  spec.num_taxis = 25;
+  spec.oracle_backend = OracleBackend::kExact;
+  Result<Metrics> exact = system_->RunScenario(spec);
+  ASSERT_TRUE(exact.ok());
+  spec.oracle_backend = OracleBackend::kCh;
+  Result<Metrics> ch = system_->RunScenario(spec);
+  ASSERT_TRUE(ch.ok());
+
+  EXPECT_EQ(exact.value().oracle_backend, "exact");
+  EXPECT_EQ(ch.value().oracle_backend, "ch");
+  EXPECT_EQ(exact.value().ServedRequests(), ch.value().ServedRequests());
+  EXPECT_EQ(exact.value().ServedOffline(), ch.value().ServedOffline());
+  EXPECT_DOUBLE_EQ(exact.value().MeanWaitingMinutes(),
+                   ch.value().MeanWaitingMinutes());
+  EXPECT_DOUBLE_EQ(exact.value().MeanDetourMinutes(),
+                   ch.value().MeanDetourMinutes());
+  EXPECT_DOUBLE_EQ(exact.value().total_driver_income,
+                   ch.value().total_driver_income);
+  const auto& er = exact.value().records();
+  const auto& cr = ch.value().records();
+  ASSERT_EQ(er.size(), cr.size());
+  for (size_t i = 0; i < er.size(); ++i) {
+    EXPECT_EQ(er[i].taxi, cr[i].taxi) << "req " << i;
+    EXPECT_EQ(er[i].pickup_time, cr[i].pickup_time) << "req " << i;
+    EXPECT_EQ(er[i].dropoff_time, cr[i].dropoff_time) << "req " << i;
+  }
+
+  // The CH run carries its counters; the exact run reports none.
+  EXPECT_TRUE(ch.value().routing.ch_active);
+  EXPECT_GT(ch.value().routing.ch_bucket_queries, 0);
+  EXPECT_GT(ch.value().routing.ch_upward_settled, 0);
+  EXPECT_FALSE(exact.value().routing.ch_active);
+  EXPECT_EQ(exact.value().routing.ch_upward_settled, 0);
 }
 
 TEST_F(MTShareSystemTest, GridPartitioningVariantRuns) {

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "graph/graph_generators.h"
+#include "routing/dijkstra.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+namespace {
+
+// Runs in mtshare_thread_tests so the tsan preset checks it: many threads
+// hammer one CH-backed oracle with point, one-to-many, and many-to-many
+// queries at once. The engine pool must hand every thread its own ChQuery
+// (stateful buffers) and the counters must not race; every answer must
+// still equal the precomputed Dijkstra reference bit for bit.
+TEST(ChConcurrencyTest, ConcurrentQueriesMatchDijkstra) {
+  GridCityOptions gopt;
+  gopt.rows = 10;
+  gopt.cols = 10;
+  gopt.one_way_fraction = 0.2;
+  gopt.seed = 67;
+  RoadNetwork net = MakeGridCity(gopt);
+  OracleOptions oopt;
+  oopt.backend = OracleBackend::kCh;
+  DistanceOracle oracle(net, oopt);
+
+  // Reference rows, computed before any threads start.
+  const int32_t n = net.num_vertices();
+  DijkstraSearch dijkstra(net);
+  std::vector<std::vector<Seconds>> reference(n);
+  for (VertexId v = 0; v < n; ++v) reference[v] = dijkstra.CostsFrom(v);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 40;
+  ThreadPool pool(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::future<void>> futures;
+  for (int w = 0; w < kThreads; ++w) {
+    futures.push_back(pool.Submit([&, w] {
+      Rng rng(671 + uint64_t(w));
+      std::vector<VertexId> sources, targets;
+      std::vector<Seconds> got;
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        VertexId s = VertexId(rng.NextInt(0, n - 1));
+        VertexId t = VertexId(rng.NextInt(0, n - 1));
+        if (oracle.Cost(s, t) != reference[s][t]) mismatches.fetch_add(1);
+
+        targets.clear();
+        for (int i = 0; i < 6; ++i) {
+          targets.push_back(VertexId(rng.NextInt(0, n - 1)));
+        }
+        oracle.CostMany(s, targets, &got);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          if (got[i] != reference[s][targets[i]]) mismatches.fetch_add(1);
+        }
+
+        sources.clear();
+        for (int i = 0; i < 3; ++i) {
+          sources.push_back(VertexId(rng.NextInt(0, n - 1)));
+        }
+        oracle.CostManyToMany(sources, targets, &got);
+        for (size_t a = 0; a < sources.size(); ++a) {
+          for (size_t b = 0; b < targets.size(); ++b) {
+            if (got[a * targets.size() + b] !=
+                reference[sources[a]][targets[b]]) {
+              mismatches.fetch_add(1);
+            }
+          }
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Counter sanity: every round issued 1 point + 1 CostMany + 3 m2m-source
+  // queries; the pool saw at most kThreads engines.
+  EXPECT_EQ(oracle.queries(), int64_t(kThreads) * kRoundsPerThread * 5);
+  EXPECT_EQ(oracle.batch_queries(), int64_t(kThreads) * kRoundsPerThread * 2);
+  ChQueryStats stats = oracle.ch_query_stats();
+  EXPECT_GT(stats.point_queries, 0);
+  EXPECT_GT(stats.bucket_queries, 0);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -30,7 +30,8 @@ TEST(DistanceOracleTest, LruModeMatchesDijkstra) {
   gopt.cols = 9;
   RoadNetwork net = MakeGridCity(gopt);
   OracleOptions oopt;
-  oopt.max_exact_vertices = 10;  // force LRU mode
+  oopt.backend = OracleBackend::kLru;  // auto would now pick CH here
+  oopt.max_exact_vertices = 10;
   oopt.lru_rows = 8;
   DistanceOracle oracle(net, oopt);
   EXPECT_FALSE(oracle.exact_mode());
@@ -60,6 +61,7 @@ TEST(DistanceOracleTest, LruEvictionStillCorrect) {
   gopt.cols = 8;
   RoadNetwork net = MakeGridCity(gopt);
   OracleOptions oopt;
+  oopt.backend = OracleBackend::kLru;  // auto would now pick CH here
   oopt.max_exact_vertices = 1;
   oopt.lru_rows = 2;  // tiny cache: constant eviction
   DistanceOracle oracle(net, oopt);

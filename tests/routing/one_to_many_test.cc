@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -69,7 +71,8 @@ TEST(DistanceOracleTest, CostManyMatchesCostBitwiseInBothModes) {
   OracleOptions exact_opts;
   DistanceOracle exact(net, exact_opts);
   OracleOptions lru_opts;
-  lru_opts.max_exact_vertices = 0;  // force the LRU row-cache backend
+  lru_opts.backend = OracleBackend::kLru;
+  lru_opts.max_exact_vertices = 0;
   DistanceOracle lru(net, lru_opts);
   ASSERT_TRUE(exact.exact_mode());
   ASSERT_FALSE(lru.exact_mode());
@@ -107,14 +110,21 @@ TEST(DistanceOracleTest, CostManyCountsOneQueryAndOneBatch) {
   EXPECT_LE(oracle.row_hits() + oracle.row_misses(), oracle.queries());
 }
 
-class InsertionCostBatchTest : public ::testing::TestWithParam<bool> {
+class InsertionCostBatchTest
+    : public ::testing::TestWithParam<OracleBackend> {
  protected:
   InsertionCostBatchTest() : net_(MakeNet(25, /*one_way=*/0.25)) {
     OracleOptions opts;
-    if (GetParam()) opts.max_exact_vertices = 0;  // LRU mode
+    opts.backend = GetParam();
+    if (GetParam() != OracleBackend::kExact) opts.max_exact_vertices = 0;
     oracle_ = std::make_unique<DistanceOracle>(net_, opts);
-    reference_ = std::make_unique<DistanceOracle>(net_, opts);
+    // The reference answers per-pair queries on the exact backend: all
+    // backends must agree bit for bit, so cross-backend comparison is the
+    // stronger check.
+    reference_ = std::make_unique<DistanceOracle>(net_);
   }
+
+  bool lru() const { return GetParam() == OracleBackend::kLru; }
 
   RoadNetwork net_;
   std::unique_ptr<DistanceOracle> oracle_;
@@ -145,7 +155,7 @@ TEST_P(InsertionCostBatchTest, PrimedLegsMatchOracleBitwiseWithNoFallbacks) {
     // fans, stop->endpoint legs, and base-adjacent stop pairs.
     auto check = [&](VertexId a, VertexId b) {
       EXPECT_EQ(batch.Cost(a, b), reference_->Cost(a, b))
-          << a << "->" << b << " lru=" << GetParam();
+          << a << "->" << b << " backend=" << OracleBackendName(GetParam());
     };
     check(origin, dest);
     for (const std::vector<VertexId>& walk : walks) {
@@ -161,11 +171,18 @@ TEST_P(InsertionCostBatchTest, PrimedLegsMatchOracleBitwiseWithNoFallbacks) {
   }
   BatchRoutingStats stats = batch.stats();
   EXPECT_GT(stats.batch_queries, 0);
-  if (GetParam()) {
+  if (lru()) {
     // LRU mode services the endpoint fans with truncated sweeps.
     EXPECT_GT(stats.settled_vertices, 0);
   } else {
     EXPECT_EQ(stats.settled_vertices, 0);
+  }
+  if (GetParam() == OracleBackend::kCh) {
+    // CH priming runs entirely on bucket-based many-to-many passes.
+    ChQueryStats ch = oracle_->ch_query_stats();
+    EXPECT_GT(ch.bucket_queries, 0);
+    EXPECT_GT(ch.bucket_entries, 0);
+    EXPECT_GT(ch.upward_settled, 0);
   }
 }
 
@@ -193,11 +210,15 @@ TEST_P(InsertionCostBatchTest, IncrementalPrimingCoversLaterCandidates) {
   EXPECT_EQ(batch.stats().fallback_queries, 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(ExactAndLru, InsertionCostBatchTest,
-                         ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "LruMode" : "ExactMode";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, InsertionCostBatchTest,
+    ::testing::Values(OracleBackend::kExact, OracleBackend::kLru,
+                      OracleBackend::kCh),
+    [](const ::testing::TestParamInfo<OracleBackend>& info) {
+      std::string name = OracleBackendName(info.param);
+      name[0] = static_cast<char>(std::toupper(name[0]));
+      return name + "Mode";
+    });
 
 }  // namespace
 }  // namespace mtshare

@@ -39,7 +39,7 @@ bool HasKey(const std::string& json, const std::string& key) {
 }
 
 void ValidateReportSchema(const std::string& json) {
-  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 2.0);
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 3.0);
   for (const char* key :
        {"experiment", "scheme", "window", "num_taxis", "num_requests",
         "seed", "requests", "response_ms", "waiting_min", "detour_min",
@@ -56,6 +56,16 @@ void ValidateReportSchema(const std::string& json) {
     EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
   }
   EXPECT_EQ(NumberAfter(json, "routing", "fallback_queries"), 0.0);
+
+  // Contraction-hierarchy counters (added in schema_version 3). Always
+  // present; zero unless the run used the CH backend.
+  EXPECT_TRUE(HasKey(json, "backend")) << "missing oracle backend name";
+  for (const char* key :
+       {"ch_active", "ch_shortcuts", "ch_preprocessing_ms",
+        "ch_point_queries", "ch_bucket_queries", "ch_upward_settled",
+        "ch_bucket_entries"}) {
+    EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
+  }
 
   // Percentiles must be monotone within every distribution.
   for (const char* dist :

@@ -21,6 +21,9 @@
 //                  results identical for any value)
 //   --batched      batched insertion routing (default 1; 0 = per-pair
 //                  oracle queries; results identical either way)
+//   --oracle       auto | exact | lru | ch  (default auto: exact table for
+//                  small graphs, contraction hierarchy for large ones;
+//                  results identical for every backend)
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
 //   --per-request  write a per-request CSV record here
@@ -136,6 +139,10 @@ int main(int argc, char** argv) {
   config.taxi_capacity = GetCount(args, "capacity", 3, &ok);
   config.matching.gamma_max_m = GetD(args, "gamma", 2500.0, &ok);
   config.matching.batched_routing = GetCount(args, "batched", 1, &ok) != 0;
+  if (!ParseOracleBackend(GetS(args, "oracle", "auto"), &config.oracle.backend)) {
+    std::fprintf(stderr, "unknown --oracle (want auto|exact|lru|ch)\n");
+    return 2;
+  }
   config.seed = seed;
 
   ScenarioOptions sopt;
@@ -173,7 +180,13 @@ int main(int argc, char** argv) {
   dopt.day = peak ? DayType::kWorkday : DayType::kWeekend;
   dopt.seed = seed + 1;
   DemandModel demand(network, dopt);
-  DistanceOracle oracle(network);
+  // Scenario generation issues scattered point queries; don't pay CH
+  // preprocessing for them (every backend returns identical costs anyway).
+  OracleOptions scratch;
+  if (network.num_vertices() > scratch.max_exact_vertices) {
+    scratch.backend = OracleBackend::kLru;
+  }
+  DistanceOracle oracle(network, scratch);
 
   Scenario scenario = MakeScenario(network, demand, oracle, sopt);
 
@@ -207,6 +220,13 @@ int main(int argc, char** argv) {
   std::printf("fare_saving=%.1f%% driver_income=%.0f exec_s=%.2f\n",
               m.MeanFareSaving() * 100.0, m.total_driver_income,
               m.execution_seconds);
+  std::printf(
+      "oracle=%s settled_vertices=%lld ch_upward_settled=%lld "
+      "ch_shortcuts=%lld\n",
+      m.oracle_backend.c_str(),
+      static_cast<long long>(m.routing.settled_vertices),
+      static_cast<long long>(m.routing.ch_upward_settled),
+      static_cast<long long>(m.routing.ch_shortcuts));
 
   std::string report_path = GetS(args, "report", "");
   if (!report_path.empty()) {

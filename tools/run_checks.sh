@@ -47,6 +47,11 @@ build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
 grep -q '"schema_version"' "$report"
 grep -q '"dispatch_total_ms"' "$report"
 grep -q '"batch_queries"' "$report"
+grep -q '"backend"' "$report"
+build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --requests=80 --oracle=ch --report="$report" >/dev/null
+grep -q '"backend": "ch"' "$report"
+grep -q '"ch_upward_settled"' "$report"
 echo "report OK: $report"
 
 echo "all checks passed"
