@@ -11,14 +11,17 @@
 
 #include "clustering/kmeans.h"
 #include "common/random.h"
+#include "demand/request.h"
 #include "common/thread_pool.h"
 #include "graph/graph_generators.h"
+#include "matching/no_sharing.h"
 #include "matching/taxi_index.h"
 #include "mobility/mobility_clustering.h"
 #include "partition/bipartite_partitioner.h"
 #include "routing/astar.h"
 #include "routing/one_to_many.h"
 #include "sched/route_planner.h"
+#include "sim/engine.h"
 #include "spatial/grid_index.h"
 
 namespace mtshare {
@@ -370,6 +373,59 @@ void BM_TaxiIndexReindex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TaxiIndexReindex)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Advancement-core head-to-head on a fixed request stream while the fleet
+// grows 100 -> 10k. Demand is constant, so larger fleets are mostly idle —
+// the regime where the sweep core's per-boundary full-fleet walk wastes
+// the most work and the event core's heap pops only the taxis with
+// movement due. engine:0 is the legacy sweep, engine:1 the event core;
+// both make bit-identical decisions (see EngineEquivalenceTest).
+void BM_EngineAdvance(benchmark::State& state) {
+  const int32_t fleet_size = int32_t(state.range(0));
+  const bool event_driven = state.range(1) == 1;
+  static DistanceOracle oracle(Net());
+  Rng rng(31);
+  // One simulated hour of evenly released city-wide trips, ids dense from
+  // zero and sorted by release as the engine requires.
+  std::vector<RideRequest> requests;
+  while (requests.size() < 256) {
+    auto [o, d] = RandomPair(rng);
+    if (o == d) continue;
+    RideRequest r;
+    r.id = RequestId(requests.size());
+    r.release_time = double(requests.size()) * (3600.0 / 256.0);
+    r.origin = o;
+    r.destination = d;
+    r.direct_cost = oracle.Cost(o, d);
+    r.deadline = r.release_time + 1.5 * r.direct_cost;
+    requests.push_back(r);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();  // fleet + dispatcher construction is not the story
+    std::vector<TaxiState> fleet = MakeFleet(Net(), fleet_size, 3, 7);
+    MatchingConfig mconfig;
+    // A tight searching range keeps candidate evaluation flat across fleet
+    // sizes so the measurement tracks fleet advancement, not dispatch.
+    mconfig.gamma_max_m = 600.0;
+    NoSharingDispatcher dispatcher(Net(), &oracle, &fleet, mconfig);
+    EngineOptions opts;
+    opts.serve_offline = false;
+    opts.event_driven = event_driven;
+    SimulationEngine engine(Net(), &dispatcher, &fleet, opts);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.Run(requests));
+  }
+  state.SetLabel(event_driven ? "event" : "sweep");
+}
+BENCHMARK(BM_EngineAdvance)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->ArgNames({"fleet", "engine"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_KMeansGeo(benchmark::State& state) {
   std::vector<double> coords;

@@ -181,6 +181,7 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
 
   EngineOptions eopts;
   eopts.serve_offline = spec.serve_offline;
+  eopts.event_driven = spec.event_driven;
   eopts.payment = config_.payment;
   SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
 

@@ -49,6 +49,9 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     const std::vector<TaxiId>& candidates, const RideRequest& request,
     Seconds now) {
   ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
+  // Materialize every candidate before any state is read — sequentially,
+  // ahead of the pool fan-out, so lazy advancement never runs on a worker.
+  for (TaxiId id : candidates) SyncTaxiState(id, now);
   std::vector<InsertionResult> results(candidates.size());
   // Lower-bound prune first (sequential, so the counter and the batch are
   // thread-count invariant): a pruned candidate's pickup provably misses
@@ -181,6 +184,7 @@ RoutePlanner::PlannedRoute Dispatcher::PlanIdleCruise(TaxiId id, Seconds now) {
 DispatchOutcome Dispatcher::TryServeEncountered(const RideRequest& request,
                                                 TaxiId taxi_id, Seconds now) {
   DispatchOutcome outcome;
+  SyncTaxiState(taxi_id, now);
   const TaxiState& t = taxi(taxi_id);
   if (t.FreeSeats() < request.passengers) return outcome;
   // The taxi is physically at the request's origin: insert and re-plan.

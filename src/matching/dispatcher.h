@@ -58,6 +58,20 @@ struct MatchingConfig {
   bool batched_routing = true;
 };
 
+/// Brings a taxi's simulated state up to `now` before it is read. The
+/// simulation engine registers itself here: with the event-driven core,
+/// taxis the event queue has not yet touched can lag behind the clock, and
+/// this hook materializes them on demand. The engine materializes every
+/// due taxi before handing control to a dispatcher, so in practice these
+/// calls are no-ops — the hook is the *contract* that makes the engine's
+/// laziness invisible to the matching layer, and the seam tests use to
+/// exercise lazy syncs directly.
+class FleetSync {
+ public:
+  virtual ~FleetSync() = default;
+  virtual void SyncTaxi(TaxiId taxi, Seconds now) = 0;
+};
+
 /// What a matching scheme returns for one ride request.
 struct DispatchOutcome {
   bool assigned = false;
@@ -96,6 +110,25 @@ class Dispatcher {
 
   /// A taxi advanced one vertex along its route.
   virtual void OnTaxiMoved(TaxiId taxi) { (void)taxi; }
+  /// Batched movement notification from the event-driven engine: the taxi
+  /// advanced from route position `from_pos` through `to_pos` (to_pos can
+  /// trail the taxi's current route_pos when the engine splits a batch
+  /// around a schedule event). Must be observationally equivalent to one
+  /// OnTaxiMoved per arc; the default collapses the batch into a single
+  /// OnTaxiMoved, which is exact for last-write-wins indexes (the grid
+  /// baselines) and no-op trackers. mT-Share overrides it to replay its
+  /// partition-crossing reindexes per crossing.
+  virtual void OnTaxiAdvanced(TaxiId taxi, size_t from_pos, size_t to_pos) {
+    (void)from_pos;
+    (void)to_pos;
+    OnTaxiMoved(taxi);
+  }
+  /// Whether per-arc index updates are order-sensitive *across taxis*.
+  /// mT-Share's mobility clustering folds taxi vectors into floating-point
+  /// cluster sums, so the inter-taxi update order is observable bit-wise;
+  /// the engine only defers fleet advancement across release boundaries
+  /// for schemes where it is not.
+  virtual bool IndexUpdatesOrderSensitive() const { return false; }
   /// A taxi's schedule/route was replaced (assignment) or drained (idle).
   virtual void OnScheduleCommitted(TaxiId taxi) { (void)taxi; }
   /// A request left the system (delivered).
@@ -129,6 +162,15 @@ class Dispatcher {
                           RoutePlanner* planner);
   void EnableIdleCruising(const MapPartitioning* partitioning,
                           std::unique_ptr<RoutePlanner> planner);
+
+  /// Whether idle cruising is armed. The engine skips the per-boundary
+  /// cruise offers entirely when it is not (PlanIdleCruise would be a
+  /// side-effect-free early return for every taxi).
+  bool IdleCruisingEnabled() const { return cruise_planner_ != nullptr; }
+
+  /// Registers the engine's lazy-materialization hook (null detaches).
+  void set_fleet_sync(FleetSync* sync) { fleet_sync_ = sync; }
+  FleetSync* fleet_sync() const { return fleet_sync_; }
 
   /// Resident bytes of the scheme's index structures (paper Table IV).
   virtual size_t IndexMemoryBytes() const { return 0; }
@@ -198,6 +240,13 @@ class Dispatcher {
                               Seconds now);
   static constexpr Seconds kLbSlack = 1e-6;
 
+  /// Materializes `taxi`'s simulated state up to `now` before reading it
+  /// (no-op without a registered FleetSync, or when the taxi is current).
+  /// Schemes call this ahead of candidate evaluation and encounter probes.
+  void SyncTaxiState(TaxiId taxi, Seconds now) const {
+    if (fleet_sync_ != nullptr) fleet_sync_->SyncTaxi(taxi, now);
+  }
+
   /// Materializes an unrestricted shortest-path route for a schedule.
   RoutePlanner::PlannedRoute PlanShortestRoute(VertexId start,
                                                Seconds start_time,
@@ -223,6 +272,8 @@ class Dispatcher {
  private:
   /// Worker pool for candidate evaluation (not owned; null = sequential).
   ThreadPool* pool_ = nullptr;
+  /// Lazy fleet materialization hook (not owned; null = fleet is eager).
+  FleetSync* fleet_sync_ = nullptr;
 
   // Idle-cruising state (see EnableIdleCruising).
   const MapPartitioning* cruise_partitioning_ = nullptr;

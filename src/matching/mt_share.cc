@@ -36,6 +36,11 @@ void MtShareDispatcher::OnTaxiMoved(TaxiId id) {
   index_.OnTaxiMoved(t, t.location_time);
 }
 
+void MtShareDispatcher::OnTaxiAdvanced(TaxiId id, size_t from_pos,
+                                       size_t to_pos) {
+  index_.OnTaxiAdvanced(taxi(id), from_pos, to_pos);
+}
+
 void MtShareDispatcher::OnScheduleCommitted(TaxiId id) {
   const TaxiState& t = taxi(id);
   index_.ReindexTaxi(t, t.location_time);

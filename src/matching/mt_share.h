@@ -36,8 +36,15 @@ class MtShareDispatcher : public Dispatcher {
   DispatchOutcome Dispatch(const RideRequest& request, Seconds now) override;
 
   void OnTaxiMoved(TaxiId taxi) override;
+  void OnTaxiAdvanced(TaxiId taxi, size_t from_pos, size_t to_pos) override;
   void OnScheduleCommitted(TaxiId taxi) override;
   void OnRequestCompleted(const RideRequest& request, TaxiId taxi) override;
+
+  /// The mobility clustering folds floating-point sums in update order, so
+  /// index updates from different simulation boundaries must not be merged
+  /// or reordered — the engine keeps this scheme on strict per-boundary
+  /// advancement.
+  bool IndexUpdatesOrderSensitive() const override { return true; }
 
 
   size_t IndexMemoryBytes() const override;

@@ -44,6 +44,15 @@ bool MtShareTaxiIndex::PartitionContains(PartitionId p, TaxiId id) const {
 }
 
 void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
+  ReindexTaxiAt(taxi, taxi.route_pos, now);
+}
+
+void MtShareTaxiIndex::ReindexTaxiAt(const TaxiState& taxi, size_t pos,
+                                     Seconds now) {
+  // The taxi's location as of route position `pos` — falls back to the
+  // stored location for drained/empty routes (ReindexTaxi delegation).
+  VertexId location =
+      pos < taxi.route.size() ? taxi.route[pos] : taxi.location;
   RemoveTaxiPartitions(taxi.id);
   std::vector<Membership> memberships;
   auto add = [&](PartitionId p, Seconds arrival) {
@@ -64,9 +73,9 @@ void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
     memberships.push_back(Membership{p, arrival});
   };
   // Current partition, at the current time.
-  add(partitioning_.PartitionOf(taxi.location), now);
+  add(partitioning_.PartitionOf(location), now);
   // Partitions along the committed route, first-arrival within T_mp.
-  for (size_t i = taxi.route_pos; i < taxi.route.size(); ++i) {
+  for (size_t i = pos; i < taxi.route.size(); ++i) {
     Seconds arrival = taxi.route_times[i];
     if (arrival > now + tmp_) break;
     add(partitioning_.PartitionOf(taxi.route[i]), arrival);
@@ -74,7 +83,7 @@ void MtShareTaxiIndex::ReindexTaxi(const TaxiState& taxi, Seconds now) {
   taxi_partitions_.emplace(taxi.id, std::move(memberships));
 
   // Mobility cluster: busy taxis only (Sec. IV-B2 excludes empty taxis).
-  MobilityVector mv = TaxiMobilityVector(taxi, network_);
+  MobilityVector mv = TaxiMobilityVectorFrom(taxi, network_, location);
   if (mv.Length() > 0.0) {
     clustering_.Assign(TaxiKey(taxi.id), mv);
   } else {
@@ -98,6 +107,31 @@ void MtShareTaxiIndex::OnTaxiMoved(const TaxiState& taxi, Seconds now) {
   if (it == taxi_partitions_.end() || it->second.empty() ||
       it->second.front().partition != partitioning_.PartitionOf(taxi.location)) {
     ReindexTaxi(taxi, now);
+  }
+}
+
+void MtShareTaxiIndex::OnTaxiAdvanced(const TaxiState& taxi, size_t from_pos,
+                                      size_t to_pos) {
+  if (taxi.Idle()) {
+    // The per-arc sweep reindexes an idle taxi at every step, but each
+    // reindex rebuilds the partition entries wholesale and the clustering
+    // Remove is idempotent — only the final one survives.
+    Seconds now = to_pos < taxi.route_times.size() ? taxi.route_times[to_pos]
+                                                   : taxi.location_time;
+    ReindexTaxiAt(taxi, to_pos, now);
+    return;
+  }
+  // Busy taxis: replay the crossing check at every stepped position. A
+  // crossing must reindex *as of that position* — the route scan start and
+  // the T_mp horizon both depend on where the crossing happened, so
+  // collapsing to one batch-end reindex would record different arrivals.
+  for (size_t pos = from_pos + 1; pos <= to_pos; ++pos) {
+    auto it = taxi_partitions_.find(taxi.id);
+    if (it == taxi_partitions_.end() || it->second.empty() ||
+        it->second.front().partition !=
+            partitioning_.PartitionOf(taxi.route[pos])) {
+      ReindexTaxiAt(taxi, pos, taxi.route_times[pos]);
+    }
   }
 }
 

@@ -39,6 +39,18 @@ class MtShareTaxiIndex {
   /// reindex; moves within a partition stay O(1).
   void OnTaxiMoved(const TaxiState& taxi, Seconds now);
 
+  /// Batched form of OnTaxiMoved for the event-driven engine: the taxi
+  /// advanced from route position `from_pos` through `to_pos`. Replays the
+  /// per-arc sweep exactly — for busy taxis every partition crossing
+  /// triggers a reindex *as of that position* (location, arrival horizon,
+  /// and mobility vector evaluated at the crossing, so the clustering's
+  /// floating-point fold sees the identical Assign sequence); idle taxis
+  /// reindex once at `to_pos` (intermediate idle reindexes are fully
+  /// overwritten: partition entries are rebuilt and the clustering Remove
+  /// is idempotent). The caller must keep schedule-changing events outside
+  /// the batch (the engine splits batches at event arcs).
+  void OnTaxiAdvanced(const TaxiState& taxi, size_t from_pos, size_t to_pos);
+
   /// Registers a ride request in the mobility clustering (affects general
   /// vectors); call when the request enters the system.
   void AddRequest(const RideRequest& request);
@@ -81,6 +93,11 @@ class MtShareTaxiIndex {
   static int64_t RequestKey(RequestId id) { return -(id + 2); }
 
   void RemoveTaxiPartitions(TaxiId id);
+
+  /// ReindexTaxi evaluated as of route position `pos`: location is
+  /// route[pos], the route scan starts there, and the T_mp horizon is
+  /// anchored at `now`. ReindexTaxi delegates with pos = taxi.route_pos.
+  void ReindexTaxiAt(const TaxiState& taxi, size_t pos, Seconds now);
 
   const RoadNetwork& network_;
   const MapPartitioning& partitioning_;

@@ -6,7 +6,13 @@ namespace mtshare {
 
 MobilityVector TaxiMobilityVector(const TaxiState& taxi,
                                   const RoadNetwork& network) {
-  const Point& here = network.coord(taxi.location);
+  return TaxiMobilityVectorFrom(taxi, network, taxi.location);
+}
+
+MobilityVector TaxiMobilityVectorFrom(const TaxiState& taxi,
+                                      const RoadNetwork& network,
+                                      VertexId location) {
+  const Point& here = network.coord(location);
   Point dest_sum{0, 0};
   int32_t dropoffs = 0;
   for (const ScheduleEvent& e : taxi.schedule.events()) {

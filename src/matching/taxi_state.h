@@ -26,12 +26,18 @@ struct TaxiState {
 
   /// Pending pickup/dropoff events, in execution order.
   Schedule schedule;
-  /// Planned arrival time per schedule event (parallel to schedule).
+  /// Planned arrival time per schedule event of the applied plan. Executed
+  /// events advance `event_pos` instead of shifting the vector, keeping it
+  /// parallel to the schedule's popped prefix.
   std::vector<Seconds> event_arrivals;
+  size_t event_pos = 0;
 
   /// Remaining route: route[route_pos] == location; empty when idle.
   std::vector<VertexId> route;
   std::vector<Seconds> route_times;  ///< arrival time per route vertex
+  /// Meters of arc route[i] -> route[i+1], cached when the plan is applied
+  /// so stepping a taxi needs no adjacency lookups (size route.size() - 1).
+  std::vector<double> route_lengths;
   size_t route_pos = 0;
 
   /// True when this taxi currently drives probabilistic-routing legs.
@@ -60,6 +66,14 @@ struct TaxiState {
 /// "no fixed travel destination" and are not mobility-clustered).
 MobilityVector TaxiMobilityVector(const TaxiState& taxi,
                                   const RoadNetwork& network);
+
+/// Same vector with the origin overridden — the taxi's mobility vector as
+/// it was (or will be) at `location`, given its current schedule. Used by
+/// the batched index updates to replay partition-crossing reindexes at the
+/// exact positions the per-arc sweep would have performed them.
+MobilityVector TaxiMobilityVectorFrom(const TaxiState& taxi,
+                                      const RoadNetwork& network,
+                                      VertexId location);
 
 /// Builds `count` idle taxis at uniformly random vertices (Sec. V-A4 sets
 /// initial taxi locations to random graph vertices).

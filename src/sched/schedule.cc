@@ -7,16 +7,24 @@
 namespace mtshare {
 
 void Schedule::PopFront() {
-  MTSHARE_CHECK(!events_.empty());
-  events_.erase(events_.begin());
+  MTSHARE_CHECK(!empty());
+  ++head_;
+  if (head_ == events_.size()) {
+    events_.clear();
+    head_ = 0;
+  }
 }
 
 void Schedule::EraseRequest(RequestId request) {
-  events_.erase(std::remove_if(events_.begin(), events_.end(),
+  events_.erase(std::remove_if(events_.begin() + head_, events_.end(),
                                [&](const ScheduleEvent& e) {
                                  return e.request == request;
                                }),
                 events_.end());
+  if (head_ == events_.size()) {
+    events_.clear();
+    head_ = 0;
+  }
 }
 
 Schedule Schedule::WithInsertion(const Schedule& base, const RideRequest& r,
@@ -30,13 +38,13 @@ Schedule Schedule::WithInsertion(const Schedule& base, const RideRequest& r,
   for (size_t k = 0; k <= base.size(); ++k) {
     if (k == pickup_pos) out.events_.push_back(pickup);
     if (k == dropoff_pos) out.events_.push_back(dropoff);
-    if (k < base.size()) out.events_.push_back(base.events_[k]);
+    if (k < base.size()) out.events_.push_back(base.at(k));
   }
   return out;
 }
 
 int32_t Schedule::FinalOnboard(int32_t onboard) const {
-  for (const ScheduleEvent& e : events_) {
+  for (const ScheduleEvent& e : events()) {
     onboard += e.is_pickup ? e.passengers : -e.passengers;
   }
   return onboard;

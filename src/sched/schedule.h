@@ -26,6 +26,28 @@ struct ScheduleEvent {
 /// DistanceOracle::Cost, giving the O(1) queries the paper assumes.
 using LegCostFn = std::function<Seconds(VertexId, VertexId)>;
 
+/// Read-only view over the pending events of a Schedule. PopFront advances
+/// a cursor instead of shifting storage, so the view starts past any
+/// already-executed prefix.
+class EventSpan {
+ public:
+  using const_iterator = const ScheduleEvent*;
+
+  EventSpan(const ScheduleEvent* begin, const ScheduleEvent* end)
+      : begin_(begin), end_(end) {}
+
+  const_iterator begin() const { return begin_; }
+  const_iterator end() const { return end_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  const ScheduleEvent& front() const { return *begin_; }
+  const ScheduleEvent& operator[](size_t i) const { return begin_[i]; }
+
+ private:
+  const ScheduleEvent* begin_;
+  const ScheduleEvent* end_;
+};
+
 /// An ordered event list S_tj. Pickup of a request always precedes its
 /// dropoff. The schedule does not know taxi position/time; those are
 /// supplied to the checking functions.
@@ -33,15 +55,18 @@ class Schedule {
  public:
   Schedule() = default;
 
-  const std::vector<ScheduleEvent>& events() const { return events_; }
-  bool empty() const { return events_.empty(); }
-  size_t size() const { return events_.size(); }
-  const ScheduleEvent& at(size_t i) const { return events_[i]; }
+  EventSpan events() const {
+    return EventSpan(events_.data() + head_, events_.data() + events_.size());
+  }
+  bool empty() const { return head_ == events_.size(); }
+  size_t size() const { return events_.size() - head_; }
+  const ScheduleEvent& at(size_t i) const { return events_[head_ + i]; }
 
   /// Appends an event (building-block; prefer WithInsertion).
   void Append(const ScheduleEvent& event) { events_.push_back(event); }
 
-  /// Removes the first event (after the taxi executes it).
+  /// Removes the first event (after the taxi executes it). O(1): advances
+  /// the head cursor; storage is reclaimed once the schedule drains.
   void PopFront();
 
   /// Drops both events of a request (e.g., a rider cancellation).
@@ -62,6 +87,8 @@ class Schedule {
 
  private:
   std::vector<ScheduleEvent> events_;
+  /// Index of the first pending event; [0, head_) were already executed.
+  size_t head_ = 0;
 };
 
 /// Outcome of walking a schedule from the taxi's position.

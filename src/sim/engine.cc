@@ -22,23 +22,54 @@ SimulationEngine::SimulationEngine(const RoadNetwork& network,
     snap_ = std::make_unique<GridIndex>(
         network, std::max(50.0, options.encounter_radius_m));
   }
+  taxi_gen_.assign(fleet->size(), 0);
+  dispatcher_->set_fleet_sync(this);
+}
+
+SimulationEngine::~SimulationEngine() {
+  if (dispatcher_->fleet_sync() == this) dispatcher_->set_fleet_sync(nullptr);
 }
 
 Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   WallTimer run_timer;
   metrics_ = Metrics();
+  metrics_.engine.event_driven = options_.event_driven;
   requests_ = requests;
   waiting_offline_.clear();
   offline_done_.assign(requests.size(), 0);
+  commit_horizon_ = 0.0;
+  deferred_pending_ = false;
+  last_deferred_ = 0.0;
+  if (options_.event_driven) {
+    heap_ = {};
+    taxi_gen_.assign(fleet_->size(), 0);
+    idle_routeless_.clear();
+    for (TaxiState& taxi : *fleet_) {
+      RearmTaxi(taxi);
+      UpdateIdleSet(taxi);
+    }
+  }
 
-  Seconds last_deadline = 0.0;
+  Seconds last_release = 0.0;
   for (const RideRequest& r : requests_) {
     MTSHARE_CHECK(r.id == static_cast<RequestId>(&r - requests_.data()));
-    last_deadline = std::max(last_deadline, r.deadline);
+    last_release = std::max(last_release, r.release_time);
   }
 
   for (const RideRequest& r : requests_) {
-    AdvanceAll(r.release_time);
+    if (CanDeferBoundary(r)) {
+      // The request is invisible to the dispatcher and nothing at this
+      // boundary can observe fleet positions — skip the advancement and
+      // let the next real boundary (or the drain) catch the fleet up.
+      ++metrics_.engine.boundaries_deferred;
+      deferred_pending_ = true;
+      last_deferred_ = std::max(last_deferred_, r.release_time);
+      metrics_.Register(r);
+      continue;
+    }
+    ++metrics_.engine.boundaries;
+    Advance(r.release_time);
+    deferred_pending_ = false;
     metrics_.Register(r);
     if (r.offline) {
       if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
@@ -67,10 +98,42 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
                 outcome.probabilistic_route);
       ExecuteDueEvents(taxi);  // pickup may be immediate (same vertex)
       dispatcher_->OnScheduleCommitted(outcome.taxi);
+      NoteCommit(taxi);
+      if (options_.event_driven) {
+        RearmTaxi(taxi);
+        UpdateIdleSet(taxi);
+      }
     }
   }
 
-  AdvanceAll(last_deadline + options_.drain_margin);
+  // Drain: instead of a fixed margin past the last deadline, iterate to a
+  // fixed point — every committed plan must play its route out (committed
+  // tails can arrive after their planned event times on probabilistic
+  // routes), and waiting hailers stay eligible until their pickup
+  // deadlines pass.
+  Seconds target = std::max(last_release, commit_horizon_);
+  if (deferred_pending_) target = std::max(target, last_deferred_);
+  if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
+    for (const RideRequest& r : requests_) {
+      if (r.offline && !offline_done_[r.id]) {
+        target = std::max(target, r.PickupDeadline());
+      }
+    }
+  }
+  for (;;) {
+    ++metrics_.engine.drain_rounds;
+    Advance(target);
+    if (commit_horizon_ > target) {
+      target = commit_horizon_;  // a drain-time encounter committed a plan
+      continue;
+    }
+    break;
+  }
+  for (const TaxiState& taxi : *fleet_) {
+    // Every onboard passenger must have been delivered by the drain.
+    MTSHARE_CHECK(taxi.onboard == 0);
+    MTSHARE_CHECK(taxi.schedule.empty());
+  }
 
   metrics_.index_memory_bytes = dispatcher_->IndexMemoryBytes();
   double income = 0.0;
@@ -83,9 +146,56 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   return std::move(metrics_);
 }
 
+bool SimulationEngine::CanDeferBoundary(const RideRequest& r) const {
+  if (!options_.event_driven || !r.offline) return false;
+  // Deferring is only sound when the boundary has no observable effect:
+  // the request is never registered as a hailer, no hailer is waiting to
+  // be encountered, no cruise offers would be made, and the scheme's
+  // index tolerates per-span batching of movement updates.
+  if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
+    return false;
+  }
+  if (!waiting_offline_.empty()) return false;
+  if (dispatcher_->IndexUpdatesOrderSensitive()) return false;
+  if (options_.serve_offline && dispatcher_->IdleCruisingEnabled()) {
+    return false;
+  }
+  return true;
+}
+
+void SimulationEngine::Advance(Seconds now) {
+  if (options_.event_driven) {
+    AdvanceTo(now);
+  } else {
+    AdvanceAll(now);
+  }
+}
+
+void SimulationEngine::SyncTaxi(TaxiId id, Seconds now) {
+  if (id == advancing_) return;  // re-entrant: already mid-advance
+  TaxiState& taxi = (*fleet_)[id];
+  if (!taxi.HasRoute() || taxi.route_times[taxi.route_pos + 1] > now) {
+    return;  // nothing due: the stored state is already current
+  }
+  ++metrics_.engine.lazy_syncs;
+  advancing_ = id;
+  if (options_.event_driven) {
+    AdvanceTaxiEvent(taxi, now);
+  } else {
+    AdvanceTaxi(taxi, now);
+  }
+  advancing_ = kInvalidTaxi;
+  if (options_.event_driven) {
+    RearmTaxi(taxi);
+    UpdateIdleSet(taxi);
+  }
+}
+
 void SimulationEngine::AdvanceAll(Seconds now) {
   for (TaxiState& taxi : *fleet_) {
+    advancing_ = taxi.id;
     AdvanceTaxi(taxi, now);
+    advancing_ = kInvalidTaxi;
     if (options_.serve_offline && taxi.Idle() && !taxi.HasRoute()) {
       // Offer the idle taxi a cruise (mT-Share-pro steers empty taxis
       // toward offline demand; other schemes park them).
@@ -99,21 +209,70 @@ void SimulationEngine::AdvanceAll(Seconds now) {
   }
 }
 
+void SimulationEngine::AdvanceTo(Seconds now) {
+  due_.clear();
+  while (!heap_.empty() && heap_.top().time <= now) {
+    PendingArc top = heap_.top();
+    heap_.pop();
+    ++metrics_.engine.heap_pops;
+    if (top.gen != taxi_gen_[top.taxi]) continue;  // stale entry
+    due_.push_back(top.taxi);
+  }
+  // Advance in taxi-id order, each taxi fully, replaying the sweep's
+  // deterministic iteration (offline encounters resolve by lowest id).
+  std::sort(due_.begin(), due_.end());
+  for (TaxiId id : due_) {
+    TaxiState& taxi = (*fleet_)[id];
+    advancing_ = id;
+    AdvanceTaxiEvent(taxi, now);
+    advancing_ = kInvalidTaxi;
+    RearmTaxi(taxi);
+    UpdateIdleSet(taxi);
+  }
+  if (options_.serve_offline && dispatcher_->IdleCruisingEnabled()) {
+    // Cruise offers go to every idle routeless taxi in id order — the same
+    // set and order the sweep visits, so the sampler's rng stream and the
+    // per-taxi rate limiter behave identically. Offers mutate the set
+    // (ApplyPlan), so iterate a snapshot.
+    offer_buf_.assign(idle_routeless_.begin(), idle_routeless_.end());
+    for (TaxiId id : offer_buf_) {
+      TaxiState& taxi = (*fleet_)[id];
+      if (!taxi.Idle() || taxi.HasRoute()) continue;
+      RoutePlanner::PlannedRoute cruise =
+          dispatcher_->PlanIdleCruise(id, now);
+      if (cruise.valid && cruise.path.vertices.size() > 1) {
+        ApplyPlan(&taxi, network_, Schedule(), cruise.path.vertices, {}, now,
+                  /*probabilistic_route=*/true);
+        RearmTaxi(taxi);
+        UpdateIdleSet(taxi);
+      }
+    }
+  }
+}
+
+void SimulationEngine::StepArc(TaxiState& taxi) {
+  // Arc lengths were cached when the plan was applied; fall back to the
+  // adjacency scan for routes installed by older call paths (tests).
+  double meters =
+      taxi.route_lengths.size() + 1 == taxi.route.size()
+          ? taxi.route_lengths[taxi.route_pos]
+          : ArcLengthMeters(network_, taxi.route[taxi.route_pos],
+                            taxi.route[taxi.route_pos + 1]);
+  taxi.driven_meters += meters;
+  if (taxi.onboard > 0) {
+    taxi.occupied_meters += meters;
+    taxi.episode_meters += meters;
+  }
+  ++taxi.route_pos;
+  taxi.location = taxi.route[taxi.route_pos];
+  taxi.location_time = taxi.route_times[taxi.route_pos];
+  ++metrics_.engine.arcs_stepped;
+}
+
 void SimulationEngine::AdvanceTaxi(TaxiState& taxi, Seconds now) {
   while (taxi.route_pos + 1 < taxi.route.size() &&
          taxi.route_times[taxi.route_pos + 1] <= now) {
-    VertexId from = taxi.route[taxi.route_pos];
-    VertexId to = taxi.route[taxi.route_pos + 1];
-    double meters = ArcLengthMeters(network_, from, to);
-    taxi.driven_meters += meters;
-    if (taxi.onboard > 0) {
-      taxi.occupied_meters += meters;
-      taxi.episode_meters += meters;
-    }
-    ++taxi.route_pos;
-    taxi.location = to;
-    taxi.location_time = taxi.route_times[taxi.route_pos];
-
+    StepArc(taxi);
     bool had_events = !taxi.schedule.empty();
     ExecuteDueEvents(taxi);
     dispatcher_->OnTaxiMoved(taxi.id);
@@ -125,16 +284,90 @@ void SimulationEngine::AdvanceTaxi(TaxiState& taxi, Seconds now) {
   }
 }
 
+void SimulationEngine::AdvanceTaxiEvent(TaxiState& taxi, Seconds now) {
+  // Identical arc walk to AdvanceTaxi, but movement notifications are
+  // batched into spans: one OnTaxiAdvanced per uninterrupted stretch of
+  // arcs. Spans split exactly where the per-arc sweep interleaves other
+  // work — at schedule events (the index must observe the pre-event
+  // schedule for earlier arcs and the post-event schedule at the event
+  // arc) and at encounter probes (the probe must observe up-to-date
+  // indexes).
+  size_t batch_start = taxi.route_pos;
+  while (taxi.route_pos + 1 < taxi.route.size() &&
+         taxi.route_times[taxi.route_pos + 1] <= now) {
+    StepArc(taxi);
+    bool event_due = false;
+    if (!taxi.schedule.empty()) {
+      const ScheduleEvent& event = taxi.schedule.events().front();
+      event_due = event.vertex == taxi.location &&
+                  taxi.event_arrivals[taxi.event_pos] <=
+                      taxi.location_time + 1e-6;
+    }
+    bool probe_due = options_.serve_offline &&
+                     dispatcher_->ServesOfflineRequests() &&
+                     waiting_offline_.count(taxi.location) > 0;
+    if (event_due) {
+      if (taxi.route_pos - 1 > batch_start) {
+        // Arcs strictly before the event arc, under the pre-event schedule.
+        dispatcher_->OnTaxiAdvanced(taxi.id, batch_start, taxi.route_pos - 1);
+      }
+      ExecuteDueEvents(taxi);
+      // The event arc itself, under the post-event schedule — this is the
+      // OnTaxiMoved the sweep issues right after executing the events.
+      dispatcher_->OnTaxiAdvanced(taxi.id, taxi.route_pos - 1, taxi.route_pos);
+      if (taxi.schedule.empty()) {
+        dispatcher_->OnScheduleCommitted(taxi.id);
+      }
+      batch_start = taxi.route_pos;
+    } else if (probe_due) {
+      if (taxi.route_pos > batch_start) {
+        dispatcher_->OnTaxiAdvanced(taxi.id, batch_start, taxi.route_pos);
+      }
+      batch_start = taxi.route_pos;
+    }
+    if (probe_due) {
+      CheckOfflineEncounters(taxi, taxi.location_time);
+      // A served encounter replanned the route (route_pos reset to 0).
+      batch_start = taxi.route_pos;
+    }
+  }
+  if (taxi.route_pos > batch_start) {
+    dispatcher_->OnTaxiAdvanced(taxi.id, batch_start, taxi.route_pos);
+  }
+}
+
+void SimulationEngine::RearmTaxi(const TaxiState& taxi) {
+  ++taxi_gen_[taxi.id];
+  if (taxi.HasRoute()) {
+    heap_.push(PendingArc{taxi.route_times[taxi.route_pos + 1], taxi.id,
+                          taxi_gen_[taxi.id]});
+  }
+}
+
+void SimulationEngine::UpdateIdleSet(const TaxiState& taxi) {
+  if (taxi.Idle() && !taxi.HasRoute()) {
+    idle_routeless_.insert(taxi.id);
+  } else {
+    idle_routeless_.erase(taxi.id);
+  }
+}
+
+void SimulationEngine::NoteCommit(const TaxiState& taxi) {
+  if (!taxi.route_times.empty()) {
+    commit_horizon_ = std::max(commit_horizon_, taxi.route_times.back());
+  }
+}
+
 void SimulationEngine::ExecuteDueEvents(TaxiState& taxi) {
   while (!taxi.schedule.empty()) {
     const ScheduleEvent event = taxi.schedule.events().front();
-    Seconds planned = taxi.event_arrivals.front();
+    Seconds planned = taxi.event_arrivals[taxi.event_pos];
     if (event.vertex != taxi.location ||
         planned > taxi.location_time + 1e-6) {
       break;
     }
     taxi.schedule.PopFront();
-    taxi.event_arrivals.erase(taxi.event_arrivals.begin());
+    ++taxi.event_pos;
     if (event.is_pickup) {
       HandlePickup(taxi, event, planned);
     } else {
@@ -228,6 +461,7 @@ void SimulationEngine::CheckOfflineEncounters(TaxiState& taxi, Seconds now) {
               outcome.probabilistic_route);
     ExecuteDueEvents(taxi);  // the pickup may be immediate
     dispatcher_->OnScheduleCommitted(taxi.id);
+    NoteCommit(taxi);
     offline_done_[r.id] = 1;
     waiting[i] = waiting.back();
     waiting.pop_back();

@@ -1,7 +1,10 @@
 #ifndef MTSHARE_SIM_ENGINE_H_
 #define MTSHARE_SIM_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <queue>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -19,9 +22,11 @@ struct EngineOptions {
   /// distance of the taxi's current vertex (vertex-exact would require the
   /// taxi to drive over the exact corner the passenger stands on).
   double encounter_radius_m = 200.0;
-  /// Extra simulated time after the last request so in-flight deliveries
-  /// can finish.
-  Seconds drain_margin = 3600.0;
+  /// Advance the fleet through a min-heap of per-taxi next-arc times (only
+  /// taxis with movement due are touched) instead of sweeping every taxi at
+  /// every request boundary. Decision-identical to the sweep; kept
+  /// switchable so the equivalence is testable.
+  bool event_driven = true;
   PaymentConfig payment;
 };
 
@@ -31,21 +36,72 @@ struct EngineOptions {
 /// times; offline requests are discovered when a taxi reaches their origin
 /// vertex while they wait. Single-threaded by design (response-time
 /// measurements stay clean).
-class SimulationEngine {
+///
+/// Two advancement cores share all event/encounter/settlement logic:
+///  - the legacy *sweep* walks the whole fleet at every request boundary;
+///  - the *event-driven* core (default) keeps a min-heap of each taxi's
+///    next route-arc arrival and pops only the taxis with movement due,
+///    batching their index updates per advancement span. The engine also
+///    implements the dispatcher's FleetSync hook so matching code can
+///    materialize a taxi's state on demand before reading it.
+class SimulationEngine : public FleetSync {
  public:
   /// `fleet` is owned by the caller (the dispatcher reads it); the engine
-  /// mutates it while running.
+  /// mutates it while running and registers itself as the dispatcher's
+  /// FleetSync for the duration of its lifetime.
   SimulationEngine(const RoadNetwork& network, Dispatcher* dispatcher,
                    std::vector<TaxiState>* fleet,
                    const EngineOptions& options);
+  ~SimulationEngine() override;
 
   /// Runs the request stream (must be sorted by release time, ids dense
   /// from 0) to completion and returns the collected metrics.
   Metrics Run(const std::vector<RideRequest>& requests);
 
+  /// FleetSync: brings one taxi up to date with simulated time `now`.
+  /// No-op for taxis with no movement due and for the taxi currently being
+  /// advanced (re-entrant calls from encounter dispatch).
+  void SyncTaxi(TaxiId taxi, Seconds now) override;
+
  private:
+  /// One heap entry: the absolute arrival time of `taxi`'s next route arc.
+  /// Entries are invalidated lazily — `gen` must match taxi_gen_[taxi] or
+  /// the entry is stale (the taxi was re-armed after a new plan).
+  struct PendingArc {
+    Seconds time = 0.0;
+    TaxiId taxi = kInvalidTaxi;
+    uint64_t gen = 0;
+  };
+  struct PendingArcLater {
+    bool operator()(const PendingArc& a, const PendingArc& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.taxi > b.taxi;
+    }
+  };
+
+  /// Advances the fleet to `now` with the configured core.
+  void Advance(Seconds now);
+  /// Legacy sweep: every taxi stepped, idle taxis offered cruises.
   void AdvanceAll(Seconds now);
+  /// Event core: pops due heap entries, advances those taxis (id order,
+  /// each fully), then offers cruises to the idle routeless set.
+  void AdvanceTo(Seconds now);
   void AdvanceTaxi(TaxiState& taxi, Seconds now);
+  /// Like AdvanceTaxi but batches dispatcher index updates per advancement
+  /// span, splitting batches at schedule events and encounter probes so
+  /// order-sensitive indexes observe the exact per-arc sequence.
+  void AdvanceTaxiEvent(TaxiState& taxi, Seconds now);
+  /// Moves the taxi across its next route arc (odometer + position).
+  void StepArc(TaxiState& taxi);
+  /// Refreshes the heap entry for a taxi whose route/position changed.
+  void RearmTaxi(const TaxiState& taxi);
+  /// Keeps the cruise-offer candidate set (idle, no route) current.
+  void UpdateIdleSet(const TaxiState& taxi);
+  /// Extends the drain horizon to cover a freshly committed plan's route.
+  void NoteCommit(const TaxiState& taxi);
+  /// Whether this request's release boundary can skip fleet advancement
+  /// entirely (no observable effect until the next real boundary).
+  bool CanDeferBoundary(const RideRequest& request) const;
   /// Executes due schedule events while the taxi sits at its location.
   void ExecuteDueEvents(TaxiState& taxi);
   void HandlePickup(TaxiState& taxi, const ScheduleEvent& event,
@@ -70,6 +126,28 @@ class SimulationEngine {
   std::vector<uint8_t> offline_done_;
   /// Vertex snapping index for encounter-radius registration.
   std::unique_ptr<GridIndex> snap_;
+
+  // --- event-driven core state ---
+  std::priority_queue<PendingArc, std::vector<PendingArc>, PendingArcLater>
+      heap_;
+  /// Per-taxi generation counters for lazy heap invalidation.
+  std::vector<uint64_t> taxi_gen_;
+  /// Idle taxis without a route — the cruise-offer candidates — ordered by
+  /// id so offers replay the sweep's iteration order exactly.
+  std::set<TaxiId> idle_routeless_;
+  /// Scratch buffers (due taxis of one advancement, offer snapshot).
+  std::vector<TaxiId> due_;
+  std::vector<TaxiId> offer_buf_;
+  /// Latest route tail among committed plans that carry events; the drain
+  /// target must reach it so every passenger is delivered.
+  Seconds commit_horizon_ = 0.0;
+  /// Deferred-boundary bookkeeping: the fleet may lag behind the newest
+  /// registered release when boundaries were skipped.
+  bool deferred_pending_ = false;
+  Seconds last_deferred_ = 0.0;
+  /// Taxi currently inside AdvanceTaxi/AdvanceTaxiEvent (re-entrancy guard
+  /// for SyncTaxi calls made from encounter dispatch).
+  TaxiId advancing_ = kInvalidTaxi;
 };
 
 }  // namespace mtshare

@@ -34,6 +34,31 @@ struct RequestRecord {
   double shared_fare = 0.0;
 };
 
+/// Counters describing how the simulation core advanced the fleet. All
+/// fields are zero on the legacy sweep path except `boundaries` and
+/// `drain_rounds`, which both engines share.
+struct EngineStats {
+  /// Whether the event-driven core ran (EngineOptions::event_driven).
+  bool event_driven = false;
+  /// Heap entries popped while advancing to request boundaries (stale
+  /// generation entries included — they are popped and discarded).
+  int64_t heap_pops = 0;
+  /// Taxis materialized on demand via the FleetSync hook, outside the
+  /// engine's own advancement loop.
+  int64_t lazy_syncs = 0;
+  /// Route arcs stepped across the fleet (both engines would step the same
+  /// arcs; the event core just skips the taxis with none due).
+  int64_t arcs_stepped = 0;
+  /// Request release boundaries processed / skipped by the deferral gate
+  /// (a deferred boundary registers its request without touching the
+  /// fleet; the next non-deferrable boundary catches the fleet up).
+  int64_t boundaries = 0;
+  int64_t boundaries_deferred = 0;
+  /// Fixed-point iterations of the end-of-run drain (each round extends
+  /// the target to the latest committed route tail).
+  int64_t drain_rounds = 0;
+};
+
 /// Aggregated results of one simulation run — the quantities the paper's
 /// evaluation section reports.
 class Metrics {
@@ -109,6 +134,8 @@ class Metrics {
   /// Dispatcher time spent probing offline encounters that were *not*
   /// served — measured by the engine but attached to no request record.
   double offline_probe_ms = 0.0;
+  /// Simulation-core counters (heap pops, lazy syncs, arcs stepped, ...).
+  EngineStats engine;
 
  private:
   std::vector<RequestRecord> records_;

@@ -134,7 +134,7 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   JsonWriter w(indent);
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(3);
+  w.Int(4);
   w.Key("experiment");
   w.String(context.experiment);
   w.Key("scheme");
@@ -241,6 +241,27 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Int(m.routing.ch_upward_settled);
   w.Key("ch_bucket_entries");
   w.Int(m.routing.ch_bucket_entries);
+  w.EndObject();
+
+  // schema_version 4 adds the engine block: which advancement core ran and
+  // its work counters (heap pops and lazily synced taxis stay zero on the
+  // sweep core; boundaries/drain_rounds are shared).
+  w.Key("engine");
+  w.BeginObject();
+  w.Key("event_driven");
+  w.Int(m.engine.event_driven ? 1 : 0);
+  w.Key("heap_pops");
+  w.Int(m.engine.heap_pops);
+  w.Key("lazy_syncs");
+  w.Int(m.engine.lazy_syncs);
+  w.Key("arcs_stepped");
+  w.Int(m.engine.arcs_stepped);
+  w.Key("boundaries");
+  w.Int(m.engine.boundaries);
+  w.Key("boundaries_deferred");
+  w.Int(m.engine.boundaries_deferred);
+  w.Key("drain_rounds");
+  w.Int(m.engine.drain_rounds);
   w.EndObject();
 
   w.Key("index_memory_bytes");

@@ -23,17 +23,25 @@ const Arc* FindCheapestArc(const RoadNetwork& network, VertexId u,
 std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
                                        const std::vector<VertexId>& path,
                                        Seconds start_time) {
-  std::vector<Seconds> times;
-  times.reserve(path.size());
+  return ComputeRouteProfile(network, path, start_time).times;
+}
+
+RouteProfile ComputeRouteProfile(const RoadNetwork& network,
+                                 const std::vector<VertexId>& path,
+                                 Seconds start_time) {
+  RouteProfile profile;
+  profile.times.reserve(path.size());
+  if (!path.empty()) profile.lengths.reserve(path.size() - 1);
   Seconds t = start_time;
-  times.push_back(t);
+  profile.times.push_back(t);
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     const Arc* arc = FindCheapestArc(network, path[i], path[i + 1]);
     MTSHARE_CHECK(arc != nullptr);
     t += arc->cost;
-    times.push_back(t);
+    profile.times.push_back(t);
+    profile.lengths.push_back(arc->length_m);
   }
-  return times;
+  return profile;
 }
 
 double ArcLengthMeters(const RoadNetwork& network, VertexId u, VertexId v) {
@@ -51,8 +59,11 @@ void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
   MTSHARE_CHECK(schedule.size() == event_arrivals.size());
   taxi->schedule = std::move(schedule);
   taxi->event_arrivals = std::move(event_arrivals);
+  taxi->event_pos = 0;
   taxi->route = path;
-  taxi->route_times = ComputeRouteTimes(network, path, now);
+  RouteProfile profile = ComputeRouteProfile(network, path, now);
+  taxi->route_times = std::move(profile.times);
+  taxi->route_lengths = std::move(profile.lengths);
   taxi->route_pos = 0;
   taxi->location_time = now;
   taxi->probabilistic_route = probabilistic_route;

@@ -14,6 +14,16 @@ std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
                                        const std::vector<VertexId>& path,
                                        Seconds start_time);
 
+/// Arrival times plus per-arc lengths of a path, resolved in one adjacency
+/// pass (`times.size() == path.size()`, `lengths.size() == path.size()-1`).
+struct RouteProfile {
+  std::vector<Seconds> times;
+  std::vector<double> lengths;
+};
+RouteProfile ComputeRouteProfile(const RoadNetwork& network,
+                                 const std::vector<VertexId>& path,
+                                 Seconds start_time);
+
 /// Applies a dispatch plan to a taxi: replaces schedule, route, and event
 /// arrival times; the taxi departs its current location at `now`.
 void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,

@@ -1,0 +1,213 @@
+// The event-driven simulation core must make bit-identical decisions to
+// the legacy full-fleet sweep: same assignments, same pickup/dropoff
+// times, same fares, same oracle traffic. These tests run both cores over
+// randomized scenarios for every scheme and compare run outcomes field by
+// field, and exercise the lazy FleetSync materialization hook directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/mtshare_system.h"
+#include "graph/graph_generators.h"
+#include "matching/no_sharing.h"
+#include "sim/engine.h"
+#include "sim/taxi.h"
+
+namespace mtshare {
+namespace {
+
+Metrics RunOnce(SchemeKind scheme, uint64_t seed, bool event_driven,
+                bool serve_offline) {
+  GridCityOptions gopt;
+  gopt.rows = 16;
+  gopt.cols = 16;
+  gopt.seed = seed;
+  RoadNetwork net = MakeGridCity(gopt);
+
+  DemandModelOptions dopt;
+  dopt.seed = seed + 1;
+  DemandModel demand(net, dopt);
+  DistanceOracle oracle(net);
+  ScenarioOptions sopt;
+  sopt.num_requests = 160;
+  sopt.num_historical_trips = 2500;
+  sopt.offline_fraction = 0.2;
+  sopt.seed = seed + 2;
+  Scenario scenario = MakeScenario(net, demand, oracle, sopt);
+
+  SystemConfig config;
+  config.kappa = 16;
+  config.kt = 5;
+  // Fresh system per run: dispatcher, indexes, and oracle caches all start
+  // cold, so counter comparisons see identical initial state.
+  MTShareSystem system(net, scenario.HistoricalOdPairs(), config);
+
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = 24;
+  spec.fleet_seed = seed + 3;
+  spec.serve_offline = serve_offline;
+  spec.event_driven = event_driven;
+  Result<Metrics> run = system.RunScenario(spec);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return std::move(run).value();
+}
+
+/// Asserts that two runs made identical decisions and identical oracle
+/// traffic (the default exact backend's counters are pure functions of the
+/// query multiset, which both cores must preserve).
+void ExpectIdenticalOutcomes(const Metrics& a, const Metrics& b,
+                             const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.TotalRequests(), b.TotalRequests());
+  EXPECT_EQ(a.ServedRequests(), b.ServedRequests());
+  EXPECT_EQ(a.ServedOnline(), b.ServedOnline());
+  EXPECT_EQ(a.ServedOffline(), b.ServedOffline());
+  EXPECT_DOUBLE_EQ(a.total_driver_income, b.total_driver_income);
+  EXPECT_EQ(a.index_memory_bytes, b.index_memory_bytes);
+  EXPECT_EQ(a.oracle_queries, b.oracle_queries);
+  EXPECT_EQ(a.oracle_row_hits, b.oracle_row_hits);
+  EXPECT_EQ(a.oracle_row_misses, b.oracle_row_misses);
+  // Both cores step the exact same route arcs; the event core just skips
+  // the taxis that have none due.
+  EXPECT_EQ(a.engine.arcs_stepped, b.engine.arcs_stepped);
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    const RequestRecord& ra = a.records()[i];
+    const RequestRecord& rb = b.records()[i];
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(ra.assigned, rb.assigned);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.taxi, rb.taxi);
+    EXPECT_EQ(ra.candidates, rb.candidates);
+    EXPECT_DOUBLE_EQ(ra.pickup_time, rb.pickup_time);
+    EXPECT_DOUBLE_EQ(ra.dropoff_time, rb.dropoff_time);
+    EXPECT_DOUBLE_EQ(ra.regular_fare, rb.regular_fare);
+    EXPECT_DOUBLE_EQ(ra.shared_fare, rb.shared_fare);
+  }
+}
+
+TEST(EngineEquivalenceTest, EventCoreMatchesSweepForEverySchemeAndSeed) {
+  for (uint64_t seed : {11u, 29u, 47u}) {
+    for (SchemeKind scheme :
+         {SchemeKind::kNoSharing, SchemeKind::kTShare,
+          SchemeKind::kPGreedyDp, SchemeKind::kMtShare,
+          SchemeKind::kMtSharePro}) {
+      Metrics sweep = RunOnce(scheme, seed, /*event_driven=*/false,
+                              /*serve_offline=*/true);
+      Metrics event = RunOnce(scheme, seed, /*event_driven=*/true,
+                              /*serve_offline=*/true);
+      EXPECT_FALSE(sweep.engine.event_driven);
+      EXPECT_TRUE(event.engine.event_driven);
+      ExpectIdenticalOutcomes(sweep, event,
+                              std::string(SchemeName(scheme)) + " seed " +
+                                  std::to_string(seed));
+      // The event core did heap-driven work and touched strictly fewer
+      // advancement units than boundaries x fleet.
+      if (event.engine.arcs_stepped > 0) {
+        EXPECT_GT(event.engine.heap_pops, 0);
+      }
+      EXPECT_EQ(sweep.engine.heap_pops, 0);
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, DeferredBoundariesStayEquivalent) {
+  // No-Sharing ignores offline requests entirely, so their release
+  // boundaries are deferrable — the event core must skip them (that is
+  // the point) and still land on identical outcomes.
+  Metrics sweep = RunOnce(SchemeKind::kNoSharing, 73, /*event_driven=*/false,
+                          /*serve_offline=*/true);
+  Metrics event = RunOnce(SchemeKind::kNoSharing, 73, /*event_driven=*/true,
+                          /*serve_offline=*/true);
+  ExpectIdenticalOutcomes(sweep, event, "no-sharing deferral");
+  EXPECT_GT(event.engine.boundaries_deferred, 0);
+  EXPECT_EQ(sweep.engine.boundaries_deferred, 0);
+
+  // serve_offline=false makes every offline boundary deferrable for the
+  // sharing baselines too.
+  Metrics sweep_off = RunOnce(SchemeKind::kTShare, 91, /*event_driven=*/false,
+                              /*serve_offline=*/false);
+  Metrics event_off = RunOnce(SchemeKind::kTShare, 91, /*event_driven=*/true,
+                              /*serve_offline=*/false);
+  ExpectIdenticalOutcomes(sweep_off, event_off, "t-share serve_offline=off");
+  EXPECT_GT(event_off.engine.boundaries_deferred, 0);
+
+  // mT-Share's clustering is update-order sensitive; the gate must keep it
+  // on strict per-boundary advancement.
+  Metrics event_mt = RunOnce(SchemeKind::kMtShare, 91, /*event_driven=*/true,
+                             /*serve_offline=*/false);
+  EXPECT_EQ(event_mt.engine.boundaries_deferred, 0);
+}
+
+RoadNetwork LineCity() {
+  RoadNetwork::Builder b(10.0);
+  for (int i = 0; i < 10; ++i) b.AddVertex({i * 100.0, 0.0});
+  for (int i = 0; i + 1 < 10; ++i) b.AddBidirectionalEdge(i, i + 1, 100.0);
+  return b.Build();
+}
+
+TEST(LazySyncTest, MidArcSyncMatchesEagerStepping) {
+  RoadNetwork net = LineCity();
+  DistanceOracle oracle(net);
+  // One lazily synced fleet (event core), one eagerly stepped (sweep core
+  // through the same hook), both driving the same eventless route.
+  std::vector<TaxiState> lazy_fleet(1);
+  std::vector<TaxiState> eager_fleet(1);
+  for (std::vector<TaxiState>* fleet : {&lazy_fleet, &eager_fleet}) {
+    (*fleet)[0].id = 0;
+    (*fleet)[0].location = 0;
+  }
+  MatchingConfig config;
+  NoSharingDispatcher lazy_dispatcher(net, &oracle, &lazy_fleet, config);
+  NoSharingDispatcher eager_dispatcher(net, &oracle, &eager_fleet, config);
+  EngineOptions lazy_opts;
+  lazy_opts.serve_offline = false;
+  EngineOptions eager_opts = lazy_opts;
+  eager_opts.event_driven = false;
+  SimulationEngine lazy_engine(net, &lazy_dispatcher, &lazy_fleet, lazy_opts);
+  SimulationEngine eager_engine(net, &eager_dispatcher, &eager_fleet,
+                                eager_opts);
+
+  // 9 arcs of 100 m at 10 m/s: the taxi reaches vertex k at t = 10k.
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < 10; ++v) path.push_back(v);
+  ApplyPlan(&lazy_fleet[0], net, Schedule(), path, {}, 0.0,
+            /*probabilistic_route=*/false);
+  ApplyPlan(&eager_fleet[0], net, Schedule(), path, {}, 0.0,
+            /*probabilistic_route=*/false);
+
+  // Materialize through the dispatcher-facing hook at a mid-arc time:
+  // t = 35 is between the arrivals at vertex 3 (t=30) and vertex 4 (t=40).
+  FleetSync* lazy_sync = &lazy_engine;
+  FleetSync* eager_sync = &eager_engine;
+  lazy_sync->SyncTaxi(0, 35.0);
+  eager_sync->SyncTaxi(0, 35.0);
+
+  EXPECT_EQ(lazy_fleet[0].location, 3);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].location_time, 30.0);
+  EXPECT_EQ(lazy_fleet[0].route_pos, 3u);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].driven_meters, 300.0);
+
+  EXPECT_EQ(lazy_fleet[0].location, eager_fleet[0].location);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].location_time, eager_fleet[0].location_time);
+  EXPECT_EQ(lazy_fleet[0].route_pos, eager_fleet[0].route_pos);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].driven_meters, eager_fleet[0].driven_meters);
+
+  // Re-syncing at the same instant is a no-op (nothing newly due).
+  lazy_sync->SyncTaxi(0, 35.0);
+  EXPECT_EQ(lazy_fleet[0].route_pos, 3u);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].driven_meters, 300.0);
+
+  // Syncing far past the route end drains it completely.
+  lazy_sync->SyncTaxi(0, 1000.0);
+  EXPECT_EQ(lazy_fleet[0].location, 9);
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].location_time, 90.0);
+  EXPECT_FALSE(lazy_fleet[0].HasRoute());
+  EXPECT_DOUBLE_EQ(lazy_fleet[0].driven_meters, 900.0);
+}
+
+}  // namespace
+}  // namespace mtshare

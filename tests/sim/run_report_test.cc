@@ -39,12 +39,12 @@ bool HasKey(const std::string& json, const std::string& key) {
 }
 
 void ValidateReportSchema(const std::string& json) {
-  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 3.0);
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 4.0);
   for (const char* key :
        {"experiment", "scheme", "window", "num_taxis", "num_requests",
         "seed", "requests", "response_ms", "waiting_min", "detour_min",
-        "candidates", "phases", "oracle", "routing", "index_memory_bytes",
-        "total_driver_income", "execution_seconds"}) {
+        "candidates", "phases", "oracle", "routing", "engine",
+        "index_memory_bytes", "total_driver_income", "execution_seconds"}) {
     EXPECT_TRUE(HasKey(json, key)) << "missing top-level key " << key;
   }
 
@@ -66,6 +66,16 @@ void ValidateReportSchema(const std::string& json) {
         "ch_bucket_entries"}) {
     EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
   }
+
+  // Simulation-core counters (added in schema_version 4). A run with any
+  // requests crosses at least one release boundary and one drain round;
+  // heap pops / lazy syncs are zero on the sweep core.
+  for (const char* key : {"event_driven", "heap_pops", "lazy_syncs",
+                          "arcs_stepped", "boundaries", "boundaries_deferred",
+                          "drain_rounds"}) {
+    EXPECT_GE(NumberAfter(json, "engine", key), 0.0) << key;
+  }
+  EXPECT_GE(NumberAfter(json, "engine", "drain_rounds"), 1.0);
 
   // Percentiles must be monotone within every distribution.
   for (const char* dist :
@@ -180,6 +190,11 @@ TEST_F(RunReportTest, SchemaIsValidForEveryScheme) {
     if (scheme != SchemeKind::kNoSharing) {
       EXPECT_GT(NumberAfter(json, "routing", "batch_queries"), 0.0);
     }
+    // The event-driven core is the default and did real heap work: every
+    // assigned route is armed on the heap and popped as the taxi moves.
+    EXPECT_EQ(NumberAfter(json, "engine", "event_driven"), 1.0);
+    EXPECT_GT(NumberAfter(json, "engine", "heap_pops"), 0.0);
+    EXPECT_GT(NumberAfter(json, "engine", "arcs_stepped"), 0.0);
   }
 }
 

@@ -24,6 +24,9 @@
 //   --oracle       auto | exact | lru | ch  (default auto: exact table for
 //                  small graphs, contraction hierarchy for large ones;
 //                  results identical for every backend)
+//   --engine       event | sweep            (default event: min-heap fleet
+//                  advancement; sweep = legacy per-boundary full-fleet
+//                  walk; decision metrics identical either way)
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
 //   --per-request  write a per-request CSV record here
@@ -155,6 +158,11 @@ int main(int argc, char** argv) {
 
   const int32_t num_taxis = GetCount(args, "taxis", 150, &ok);
   const int32_t num_threads = GetCount(args, "threads", 1, &ok);
+  const std::string engine_mode = GetS(args, "engine", "event");
+  if (engine_mode != "event" && engine_mode != "sweep") {
+    std::fprintf(stderr, "unknown --engine (want event|sweep)\n");
+    return 2;
+  }
   if (!ok) return 2;  // every malformed flag already printed its error
 
   Status valid = config.Validate();
@@ -202,6 +210,7 @@ int main(int argc, char** argv) {
   spec.num_taxis = num_taxis;
   spec.fleet_seed = seed + 3;
   spec.num_threads = num_threads;
+  spec.event_driven = engine_mode == "event";
   Result<Metrics> run = system.value()->RunScenario(spec);
   if (!run.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());

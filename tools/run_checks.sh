@@ -5,7 +5,9 @@
 #      (thread pool, sharded LRU, parallel scenario sweeps)
 #   3. configure + build the asan preset, run the full suite under
 #      AddressSanitizer + LeakSanitizer
-#   4. smoke-run mtshare_sim --report and check the JSON schema marker
+#   4. smoke-run mtshare_sim --report and check the JSON schema marker,
+#      run both advancement cores (--engine=sweep|event) and check the
+#      schema-4 engine counters, and smoke BM_EngineAdvance
 #
 # Run from the repo root:  tools/run_checks.sh
 # Also reachable as:       cmake --build build --target check
@@ -52,6 +54,23 @@ build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
   --taxis=15 --requests=80 --oracle=ch --report="$report" >/dev/null
 grep -q '"backend": "ch"' "$report"
 grep -q '"ch_upward_settled"' "$report"
+# Both advancement cores must emit the schema-4 engine block: the sweep
+# with zero heap traffic, the event core (the default) with live counters.
+build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --requests=80 --engine=sweep --report="$report" >/dev/null
+grep -q '"event_driven": 0' "$report"
+grep -q '"heap_pops": 0' "$report"
+build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --requests=80 --engine=event --report="$report" >/dev/null
+grep -q '"event_driven": 1' "$report"
+grep -q '"heap_pops"' "$report"
+grep -q '"lazy_syncs"' "$report"
+grep -q '"arcs_stepped"' "$report"
 echo "report OK: $report"
+# One quick advancement-core micro-bench pass (both engines, small fleet)
+# to catch bit-rot in the bench harness itself.
+build/bench/bench_micro_components \
+  --benchmark_filter='BM_EngineAdvance/fleet:100/' \
+  --benchmark_min_time=0.01 >/dev/null
 
 echo "all checks passed"
