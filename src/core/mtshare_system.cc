@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "sim/request_source.h"
 
 namespace mtshare {
 
@@ -40,8 +43,15 @@ std::optional<SchemeKind> ParseScheme(std::string_view name) {
 }
 
 Status ScenarioSpec::Validate() const {
-  if (requests == nullptr) {
-    return Status::InvalidArgument("ScenarioSpec.requests must be set");
+  if (requests == nullptr && source == nullptr) {
+    return Status::InvalidArgument(
+        "ScenarioSpec.requests must be set (or a streaming "
+        "ScenarioSpec.source)");
+  }
+  if (requests != nullptr && source != nullptr) {
+    return Status::InvalidArgument(
+        "ScenarioSpec.requests and ScenarioSpec.source are exclusive — "
+        "set exactly one");
   }
   if (num_taxis < 1) {
     return Status::InvalidArgument("ScenarioSpec.num_taxis must be >= 1");
@@ -50,18 +60,29 @@ Status ScenarioSpec::Validate() const {
     return Status::InvalidArgument(
         "ScenarioSpec.num_threads must be in [0, 1024]");
   }
+  if (!(batch_window_ms >= 0.0) || !std::isfinite(batch_window_ms)) {
+    return Status::InvalidArgument(
+        "ScenarioSpec.batch_window_ms must be finite and >= 0");
+  }
+  if (max_queue < 0) {
+    return Status::InvalidArgument("ScenarioSpec.max_queue must be >= 0");
+  }
   // The engine replays the stream in order and indexes records by id; the
   // old API documented "sorted with dense ids" and crashed downstream on
-  // violations — the spec path reports them instead.
-  for (size_t i = 0; i < requests->size(); ++i) {
-    const RideRequest& r = (*requests)[i];
-    if (r.id != static_cast<RequestId>(i)) {
-      return Status::InvalidArgument(
-          "requests must carry dense ids 0..n-1 in order");
-    }
-    if (i > 0 && r.release_time < (*requests)[i - 1].release_time) {
-      return Status::InvalidArgument(
-          "requests must be sorted by release time");
+  // violations — the spec path reports them instead. Streaming sources
+  // carry the equivalent validation themselves (their status fails on the
+  // offending line).
+  if (requests != nullptr) {
+    for (size_t i = 0; i < requests->size(); ++i) {
+      const RideRequest& r = (*requests)[i];
+      if (r.id != static_cast<RequestId>(i)) {
+        return Status::InvalidArgument(
+            "requests must carry dense ids 0..n-1 in order");
+      }
+      if (i > 0 && r.release_time < (*requests)[i - 1].release_time) {
+        return Status::InvalidArgument(
+            "requests must be sorted by release time");
+      }
     }
   }
   return Status::OK();
@@ -159,8 +180,20 @@ std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
 
 Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   MTSHARE_RETURN_NOT_OK(spec.Validate());
-  const std::vector<RideRequest>& requests = *spec.requests;
-  Seconds start_time = requests.empty() ? 0.0 : requests.front().release_time;
+  // Vector and streaming ingest share one engine path: a pre-materialized
+  // vector is just a VectorRequestSource, which makes the classic replay
+  // trivially byte-identical to a streamed copy of the same log.
+  std::optional<VectorRequestSource> vector_source;
+  RequestSource* source = spec.source;
+  if (source == nullptr) {
+    vector_source.emplace(spec.requests);
+    source = &*vector_source;
+  }
+  // The fleet starts when the first request releases; peeking does not
+  // consume it. A source that fails on its very first record surfaces the
+  // error through source->status() after the (empty) run.
+  RideRequest first;
+  Seconds start_time = source->Peek(&first) ? first.release_time : 0.0;
   std::vector<TaxiState> fleet =
       MakeFleet(network_, spec.num_taxis, config_.taxi_capacity,
                 spec.fleet_seed, start_time);
@@ -182,6 +215,9 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   EngineOptions eopts;
   eopts.serve_offline = spec.serve_offline;
   eopts.event_driven = spec.event_driven;
+  eopts.batch_window_ms = spec.batch_window_ms;
+  eopts.max_queue = spec.max_queue;
+  eopts.on_decision = spec.on_decision;
   eopts.payment = config_.payment;
   SimulationEngine engine(network_, dispatcher.get(), &fleet, eopts);
 
@@ -189,7 +225,10 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   const int64_t h0 = oracle->row_hits();
   const int64_t m0 = oracle->row_misses();
   const ChQueryStats ch0 = oracle->ch_query_stats();
-  Metrics metrics = engine.Run(requests);
+  Metrics metrics = engine.Run(*source);
+  // A mid-stream parse/order error ended the pull early; the partial run's
+  // metrics are meaningless, so report the source failure instead.
+  MTSHARE_RETURN_NOT_OK(source->status());
   metrics.oracle_queries = oracle->queries() - q0;
   metrics.oracle_row_hits = oracle->row_hits() - h0;
   metrics.oracle_row_misses = oracle->row_misses() - m0;
@@ -207,25 +246,6 @@ Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {
   metrics.routing.ch_upward_settled = ch1.upward_settled - ch0.upward_settled;
   metrics.routing.ch_bucket_entries = ch1.bucket_entries - ch0.bucket_entries;
   return metrics;
-}
-
-Metrics MTShareSystem::RunScenario(SchemeKind scheme,
-                                   const std::vector<RideRequest>& requests,
-                                   int32_t num_taxis, uint64_t fleet_seed,
-                                   bool serve_offline) {
-  ScenarioSpec spec;
-  spec.scheme = scheme;
-  spec.requests = &requests;
-  spec.num_taxis = num_taxis;
-  spec.fleet_seed = fleet_seed;
-  spec.serve_offline = serve_offline;
-  spec.num_threads = 1;
-  Result<Metrics> result = RunScenario(spec);
-  if (!result.ok()) {
-    MTSHARE_LOG(kError) << "RunScenario: " << result.status();
-  }
-  MTSHARE_CHECK(result.ok());
-  return std::move(result).value();
 }
 
 size_t MTShareSystem::SharedIndexMemoryBytes() const {

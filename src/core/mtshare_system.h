@@ -2,6 +2,7 @@
 #define MTSHARE_CORE_MTSHARE_SYSTEM_H_
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -41,11 +42,31 @@ std::optional<SchemeKind> ParseScheme(std::string_view name);
 /// come back as Status instead of dying.
 struct ScenarioSpec {
   SchemeKind scheme = SchemeKind::kMtShare;
-  /// The request stream, sorted by release time with ids dense from 0.
-  /// Non-owning: the caller's vector must outlive the run (scenarios are
-  /// reused across many runs; copying thousands of requests per sweep cell
-  /// would dominate small runs).
+  /// The pre-materialized request stream, sorted by release time with ids
+  /// dense from 0. Non-owning: the caller's vector must outlive the run
+  /// (scenarios are reused across many runs; copying thousands of requests
+  /// per sweep cell would dominate small runs). Internally wrapped in a
+  /// VectorRequestSource; exactly one of `requests` / `source` must be
+  /// set.
   const std::vector<RideRequest>* requests = nullptr;
+  /// Streaming ingest (DESIGN.md §12): requests are pulled from this
+  /// source instead of a vector. Non-owning and single-pass — the source
+  /// must outlive the run and is consumed by it; build a fresh source per
+  /// run. Sources self-validate (ordering, dense ids) and their failure
+  /// status is returned after the run.
+  RequestSource* source = nullptr;
+  /// Batch-window ingest Δt in simulated milliseconds: collect arrivals
+  /// for Δt after the first pending release, dispatch the batch at window
+  /// close. 0 replays the classic per-request boundary loop exactly.
+  double batch_window_ms = 0.0;
+  /// Admission cap on the pending dispatch queue (0 = unbounded). With a
+  /// batch window, online arrivals past the cap are shed unserved
+  /// (Metrics::serve.shed).
+  int64_t max_queue = 0;
+  /// Decision observer: called with the final record of every dispatch
+  /// decision, served encounter, and shed request (mtshare_serve streams
+  /// its response lines from here). Null = disabled.
+  std::function<void(const RideRequest&, const RequestRecord&)> on_decision;
   int32_t num_taxis = 0;
   /// Controls initial taxi placement.
   uint64_t fleet_seed = 1;
@@ -106,18 +127,13 @@ class MTShareSystem {
                 const std::vector<OdPair>& historical_trips,
                 const SystemConfig& config);
 
-  /// Runs one scenario with a fresh fleet. Primary entry point: validates
-  /// the spec (including request ordering) and fans candidate evaluation
-  /// out across spec.num_threads workers with bit-identical results.
+  /// Runs one scenario with a fresh fleet. The only entry point (the old
+  /// positional overload is gone): validates the spec (including request
+  /// ordering) and fans candidate evaluation out across spec.num_threads
+  /// workers with bit-identical results. Vector and streaming ingest share
+  /// one engine path, so a StreamRequestSource fed the serialized log of
+  /// spec.requests produces byte-identical decision metrics.
   Result<Metrics> RunScenario(const ScenarioSpec& spec);
-
-  /// Deprecated positional overload, kept as a thin wrapper over the
-  /// ScenarioSpec form; dies where the spec form would return an error.
-  /// Migrate to RunScenario(const ScenarioSpec&).
-  Metrics RunScenario(SchemeKind scheme,
-                      const std::vector<RideRequest>& requests,
-                      int32_t num_taxis, uint64_t fleet_seed = 1,
-                      bool serve_offline = true);
 
   /// Creates a dispatcher bound to `fleet` (advanced use: custom engines).
   /// `oracle` = nullptr uses the system's default oracle.

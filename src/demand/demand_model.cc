@@ -20,13 +20,13 @@ constexpr double kWeekendProfile[24] = {
     0.70, 0.72, 0.70, 0.68, 0.66, 0.65, 0.68, 0.72, 0.70, 0.65,
     0.60, 0.52, 0.40, 0.25};
 
+}  // namespace
+
 int32_t HourOf(Seconds time) {
   double day_sec = std::fmod(time, 86400.0);
   if (day_sec < 0) day_sec += 86400.0;
   return static_cast<int32_t>(day_sec / 3600.0) % 24;
 }
-
-}  // namespace
 
 double FlowWeight(HotspotType from, HotspotType to, int32_t hour) {
   double w = 1.0;

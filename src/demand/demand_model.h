@@ -57,6 +57,10 @@ class DemandModel {
   /// weekend curve is flatter with a late-morning hump.
   static double DiurnalWeight(DayType day, int32_t hour);
 
+  /// Day profile this model samples under (GeneratorRequestSource replays
+  /// the same rejection sampling outside the model).
+  DayType day() const { return options_.day; }
+
   const std::vector<Point>& hotspot_centers() const { return centers_; }
   const std::vector<HotspotType>& hotspot_types() const { return types_; }
 
@@ -75,6 +79,10 @@ class DemandModel {
 
 /// Time-of-day flow multiplier between hotspot roles; exposed for tests.
 double FlowWeight(HotspotType from, HotspotType to, int32_t hour);
+
+/// Hour-of-day (0-23) of a timestamp; values >= 24h wrap, negatives are
+/// shifted into the day.
+int32_t HourOf(Seconds time);
 
 }  // namespace mtshare
 

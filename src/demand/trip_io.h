@@ -2,9 +2,11 @@
 #define MTSHARE_DEMAND_TRIP_IO_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "demand/request.h"
 #include "demand/trip.h"
 #include "geo/latlng.h"
 #include "graph/road_network.h"
@@ -51,6 +53,41 @@ Result<TripCsvResult> LoadTripCsv(const std::string& path,
 Status SaveTripCsv(const std::string& path, const std::vector<Trip>& trips,
                    const RoadNetwork& network,
                    const TripCsvOptions& options = {});
+
+// --- request logs (the streaming-ingest wire format, DESIGN.md §12) ---
+//
+// One request per line, in either of two self-describing layouts that
+// StreamRequestSource auto-detects per line:
+//
+//   CSV:   id,release,origin,destination,deadline,direct_cost,passengers,
+//          offline                                  (8 fields, offline 0/1)
+//   JSON:  {"id":0,"release_time":4.5,"origin":7,"destination":31,
+//           "deadline":9.1,"direct_cost":3.2,"passengers":1,"offline":0}
+//
+// Lines starting with '#' are comments. Doubles are serialized with %.17g
+// so a formatted-then-parsed request is bit-identical to the original —
+// the property the stream-vs-vector ingest equivalence tests rely on.
+// In the JSON layout `id`, `deadline`, `direct_cost`, `passengers`, and
+// `offline` are optional (missing id = assign the next dense id; missing
+// deadline/direct_cost = -1, to be filled by a finalize hook); the CSV
+// layout always carries all 8 fields but accepts -1 sentinels.
+
+/// One CSV request-log line (no trailing newline).
+std::string FormatRequestCsv(const RideRequest& request);
+
+/// One JSON request-log line (no trailing newline).
+std::string FormatRequestJson(const RideRequest& request);
+
+/// Parses one request-log line (either layout). Returns InvalidArgument on
+/// malformed input. Missing optional fields come back as the sentinels
+/// documented above; no cross-line validation (ids/order) happens here.
+Result<RideRequest> ParseRequestLine(std::string_view line);
+
+/// Writes a request log, one line per request (CSV by default; JSON lines
+/// when `json` is set). Round-trips exactly through ParseRequestLine.
+Status SaveRequestLog(const std::string& path,
+                      const std::vector<RideRequest>& requests,
+                      bool json = false);
 
 }  // namespace mtshare
 

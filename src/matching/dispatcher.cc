@@ -45,6 +45,15 @@ bool Dispatcher::LowerBoundPrunesPickup(VertexId taxi_location,
   return false;
 }
 
+void Dispatcher::DispatchBatch(
+    const std::vector<const RideRequest*>& batch, Seconds now,
+    const std::function<void(const RideRequest&)>& dispatch_one) {
+  (void)now;  // the engine already advanced the fleet to the window close
+  for (const RideRequest* request : batch) {
+    dispatch_one(*request);
+  }
+}
+
 Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     const std::vector<TaxiId>& candidates, const RideRequest& request,
     Seconds now) {

@@ -2,6 +2,7 @@
 #define MTSHARE_MATCHING_DISPATCHER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -107,6 +108,20 @@ class Dispatcher {
   /// beyond the scheme's own index bookkeeping.
   virtual DispatchOutcome Dispatch(const RideRequest& request,
                                    Seconds now) = 0;
+
+  /// Batch-window entry point (DESIGN.md §12): the engine collected
+  /// `batch` (release order) over one window and asks the scheme to
+  /// dispatch it at window-close time `now`. `dispatch_one` runs the
+  /// standard dispatch-and-commit path for one request — each request's
+  /// plan is applied before the next dispatch runs, so later requests see
+  /// the fleet the earlier assignments produced. Implementations must call
+  /// it exactly once per request; the default replays the batch in release
+  /// order, which keeps batched runs deterministic and makes Δt=0 collapse
+  /// to the per-request loop. Override to prime shared per-window state
+  /// (or, later, to solve the batch as one assignment problem).
+  virtual void DispatchBatch(
+      const std::vector<const RideRequest*>& batch, Seconds now,
+      const std::function<void(const RideRequest&)>& dispatch_one);
 
   /// A taxi advanced one vertex along its route.
   virtual void OnTaxiMoved(TaxiId taxi) { (void)taxi; }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "sim/request_source.h"
 #include "sim/taxi.h"
 
 namespace mtshare {
@@ -31,15 +32,22 @@ SimulationEngine::~SimulationEngine() {
 }
 
 Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
+  VectorRequestSource source(&requests);
+  return Run(source);
+}
+
+Metrics SimulationEngine::Run(RequestSource& source) {
   WallTimer run_timer;
   metrics_ = Metrics();
   metrics_.engine.event_driven = options_.event_driven;
-  requests_ = requests;
+  metrics_.serve.batch_window_ms = std::max(0.0, options_.batch_window_ms);
+  requests_.clear();
   waiting_offline_.clear();
-  offline_done_.assign(requests.size(), 0);
+  offline_done_.clear();
   commit_horizon_ = 0.0;
   deferred_pending_ = false;
   last_deferred_ = 0.0;
+  last_release_ = 0.0;
   if (options_.event_driven) {
     heap_ = {};
     taxi_gen_.assign(fleet_->size(), 0);
@@ -50,60 +58,51 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
     }
   }
 
-  Seconds last_release = 0.0;
-  for (const RideRequest& r : requests_) {
-    MTSHARE_CHECK(r.id == static_cast<RequestId>(&r - requests_.data()));
-    last_release = std::max(last_release, r.release_time);
-  }
-
-  for (const RideRequest& r : requests_) {
-    if (CanDeferBoundary(r)) {
-      // The request is invisible to the dispatcher and nothing at this
-      // boundary can observe fleet positions — skip the advancement and
-      // let the next real boundary (or the drain) catch the fleet up.
-      ++metrics_.engine.boundaries_deferred;
-      deferred_pending_ = true;
-      last_deferred_ = std::max(last_deferred_, r.release_time);
-      metrics_.Register(r);
-      continue;
+  const Seconds window = metrics_.serve.batch_window_ms / 1000.0;
+  RideRequest next;
+  if (window <= 0.0) {
+    // Per-request replay: each pull is one release boundary — the
+    // historical engine loop, fed lazily.
+    while (source.Next(&next)) {
+      Ingest(next);
+      ProcessBoundary(requests_.back());
     }
-    ++metrics_.engine.boundaries;
-    Advance(r.release_time);
-    deferred_pending_ = false;
-    metrics_.Register(r);
-    if (r.offline) {
-      if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
-        // Register the hailer at every vertex a passing driver could spot
-        // them from.
-        for (VertexId v : snap_->VerticesInRadius(
-                 network_.coord(r.origin), options_.encounter_radius_m)) {
-          waiting_offline_[v].push_back(r.id);
-        }
+  } else {
+    // Batch-window ingest (Luo et al., arXiv 2004.02570): the window
+    // anchors at the first pending arrival; everything released before
+    // anchor + Δt joins the batch, which dispatches at window close.
+    std::vector<RequestId> queue;  // pending online requests, release order
+    std::vector<RequestId> hails;  // pending offline releases
+    Seconds window_close = 0.0;
+    bool open = false;
+    while (source.Next(&next)) {
+      if (open && next.release_time >= window_close) {
+        FlushBatch(&queue, &hails, window_close);
+        open = false;
       }
-      continue;  // invisible to the dispatcher until encountered
-    }
-    WallTimer response_timer;
-    DispatchOutcome outcome = dispatcher_->Dispatch(r, r.release_time);
-    double ms = response_timer.ElapsedMillis();
-    RequestRecord& rec = metrics_.record(r.id);
-    rec.response_ms = ms;
-    rec.candidates = outcome.candidates;
-    if (outcome.assigned) {
-      rec.assigned = true;
-      rec.taxi = outcome.taxi;
-      TaxiState& taxi = (*fleet_)[outcome.taxi];
-      ApplyPlan(&taxi, network_, std::move(outcome.schedule),
-                outcome.route.path.vertices,
-                std::move(outcome.route.event_arrivals), r.release_time,
-                outcome.probabilistic_route);
-      ExecuteDueEvents(taxi);  // pickup may be immediate (same vertex)
-      dispatcher_->OnScheduleCommitted(outcome.taxi);
-      NoteCommit(taxi);
-      if (options_.event_driven) {
-        RearmTaxi(taxi);
-        UpdateIdleSet(taxi);
+      Ingest(next);
+      const RideRequest& r = requests_.back();
+      if (!open) {
+        window_close = r.release_time + window;
+        open = true;
       }
+      if (r.offline) {
+        hails.push_back(r.id);
+        continue;
+      }
+      if (options_.max_queue > 0 &&
+          static_cast<int64_t>(queue.size()) >= options_.max_queue) {
+        ++metrics_.serve.shed;
+        RequestRecord& rec = metrics_.record(r.id);
+        rec.shed = true;
+        if (options_.on_decision) options_.on_decision(r, rec);
+        continue;
+      }
+      queue.push_back(r.id);
+      metrics_.serve.queue_depth = std::max(
+          metrics_.serve.queue_depth, static_cast<int64_t>(queue.size()));
     }
+    if (open) FlushBatch(&queue, &hails, window_close);
   }
 
   // Drain: instead of a fixed margin past the last deadline, iterate to a
@@ -111,7 +110,7 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   // tails can arrive after their planned event times on probabilistic
   // routes), and waiting hailers stay eligible until their pickup
   // deadlines pass.
-  Seconds target = std::max(last_release, commit_horizon_);
+  Seconds target = std::max(last_release_, commit_horizon_);
   if (deferred_pending_) target = std::max(target, last_deferred_);
   if (options_.serve_offline && dispatcher_->ServesOfflineRequests()) {
     for (const RideRequest& r : requests_) {
@@ -144,6 +143,99 @@ Metrics SimulationEngine::Run(const std::vector<RideRequest>& requests) {
   metrics_.routing = dispatcher_->routing_stats();
   metrics_.FinalizeDistributions();
   return std::move(metrics_);
+}
+
+void SimulationEngine::Ingest(const RideRequest& r) {
+  // Metrics::Register CHECKs dense ids; monotone release times are the
+  // streaming contract (sources self-validate and report violations as a
+  // failed status before handing the request over — this is the backstop).
+  MTSHARE_CHECK(r.release_time >= last_release_);
+  metrics_.Register(r);
+  requests_.push_back(r);
+  offline_done_.push_back(0);
+  last_release_ = r.release_time;
+}
+
+void SimulationEngine::ProcessBoundary(const RideRequest& r) {
+  if (CanDeferBoundary(r)) {
+    // The request is invisible to the dispatcher and nothing at this
+    // boundary can observe fleet positions — skip the advancement and
+    // let the next real boundary (or the drain) catch the fleet up.
+    ++metrics_.engine.boundaries_deferred;
+    deferred_pending_ = true;
+    last_deferred_ = std::max(last_deferred_, r.release_time);
+    return;
+  }
+  ++metrics_.engine.boundaries;
+  Advance(r.release_time);
+  deferred_pending_ = false;
+  if (r.offline) {
+    RegisterHailer(r);
+    return;  // invisible to the dispatcher until encountered
+  }
+  metrics_.serve.queue_depth = std::max<int64_t>(metrics_.serve.queue_depth, 1);
+  DispatchOne(r, r.release_time);
+}
+
+void SimulationEngine::FlushBatch(std::vector<RequestId>* queue,
+                                  std::vector<RequestId>* hails,
+                                  Seconds when) {
+  ++metrics_.serve.batches;
+  ++metrics_.engine.boundaries;
+  Advance(when);
+  deferred_pending_ = false;
+  // Hailers start waiting before the online batch dispatches: they were on
+  // the street the whole window, and a window-close assignment may route a
+  // taxi right past them.
+  for (RequestId id : *hails) RegisterHailer(requests_[id]);
+  hails->clear();
+  if (!queue->empty()) {
+    batch_buf_.clear();
+    for (RequestId id : *queue) batch_buf_.push_back(&requests_[id]);
+    dispatcher_->DispatchBatch(
+        batch_buf_, when,
+        [this, when](const RideRequest& r) { DispatchOne(r, when); });
+  }
+  queue->clear();
+}
+
+void SimulationEngine::RegisterHailer(const RideRequest& r) {
+  if (!options_.serve_offline || !dispatcher_->ServesOfflineRequests()) {
+    return;
+  }
+  // Register the hailer at every vertex a passing driver could spot them
+  // from.
+  for (VertexId v : snap_->VerticesInRadius(network_.coord(r.origin),
+                                            options_.encounter_radius_m)) {
+    waiting_offline_[v].push_back(r.id);
+  }
+}
+
+void SimulationEngine::DispatchOne(const RideRequest& r, Seconds now) {
+  ++metrics_.serve.admitted;
+  WallTimer response_timer;
+  DispatchOutcome outcome = dispatcher_->Dispatch(r, now);
+  double ms = response_timer.ElapsedMillis();
+  RequestRecord& rec = metrics_.record(r.id);
+  rec.response_ms = ms;
+  rec.candidates = outcome.candidates;
+  if (outcome.assigned) {
+    rec.assigned = true;
+    rec.taxi = outcome.taxi;
+    TaxiState& taxi = (*fleet_)[outcome.taxi];
+    ApplyPlan(&taxi, network_, std::move(outcome.schedule),
+              outcome.route.path.vertices,
+              std::move(outcome.route.event_arrivals), now,
+              outcome.probabilistic_route);
+    ExecuteDueEvents(taxi);  // pickup may be immediate (same vertex)
+    dispatcher_->OnScheduleCommitted(outcome.taxi);
+    NoteCommit(taxi);
+    if (options_.event_driven) {
+      RearmTaxi(taxi);
+      UpdateIdleSet(taxi);
+    }
+  }
+  if (options_.on_decision) options_.on_decision(r, metrics_.record(r.id));
 }
 
 bool SimulationEngine::CanDeferBoundary(const RideRequest& r) const {
@@ -463,6 +555,7 @@ void SimulationEngine::CheckOfflineEncounters(TaxiState& taxi, Seconds now) {
     dispatcher_->OnScheduleCommitted(taxi.id);
     NoteCommit(taxi);
     offline_done_[r.id] = 1;
+    if (options_.on_decision) options_.on_decision(r, rec);
     waiting[i] = waiting.back();
     waiting.pop_back();
   }

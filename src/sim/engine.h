@@ -2,6 +2,7 @@
 #define MTSHARE_SIM_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <set>
@@ -15,6 +16,8 @@
 
 namespace mtshare {
 
+class RequestSource;
+
 struct EngineOptions {
   /// Enables offline-request encounters for schemes that support them.
   bool serve_offline = true;
@@ -27,6 +30,22 @@ struct EngineOptions {
   /// every request boundary. Decision-identical to the sweep; kept
   /// switchable so the equivalence is testable.
   bool event_driven = true;
+  /// Batch-window ingest discipline Δt, simulated milliseconds (DESIGN.md
+  /// §12): arrivals are collected from the first pending release for Δt and
+  /// dispatched together when the window closes. <= 0 dispatches each
+  /// request at its own release boundary — byte-identical to the
+  /// pre-window engine loop.
+  double batch_window_ms = 0.0;
+  /// Admission cap on the pending dispatch queue (0 = unbounded; only
+  /// meaningful with a batch window). Online requests arriving while the
+  /// queue is full are shed: registered in the metrics and reported to the
+  /// decision observer, but never dispatched.
+  int64_t max_queue = 0;
+  /// Decision observer: invoked with the final record of every online
+  /// dispatch decision, every served offline encounter, and every shed
+  /// request — the hook mtshare_serve streams response lines from. Null
+  /// disables it.
+  std::function<void(const RideRequest&, const RequestRecord&)> on_decision;
   PaymentConfig payment;
 };
 
@@ -54,8 +73,16 @@ class SimulationEngine : public FleetSync {
                    const EngineOptions& options);
   ~SimulationEngine() override;
 
-  /// Runs the request stream (must be sorted by release time, ids dense
-  /// from 0) to completion and returns the collected metrics.
+  /// Runs a pulled request stream (sorted by release time, ids dense from
+  /// 0 — sources self-validate; the engine CHECKs) to completion and
+  /// returns the collected metrics. The source is consumed. With a
+  /// positive batch window the engine collects arrivals per window and
+  /// dispatches each batch at window close; otherwise every request
+  /// dispatches at its own release boundary.
+  Metrics Run(RequestSource& source);
+
+  /// Vector convenience wrapper: replays `requests` through a
+  /// VectorRequestSource — byte-identical to the historical eager loop.
   Metrics Run(const std::vector<RideRequest>& requests);
 
   /// FleetSync: brings one taxi up to date with simulated time `now`.
@@ -102,6 +129,20 @@ class SimulationEngine : public FleetSync {
   /// Whether this request's release boundary can skip fleet advancement
   /// entirely (no observable effect until the next real boundary).
   bool CanDeferBoundary(const RideRequest& request) const;
+  /// Appends one pulled request to the run state (record + lookup tables).
+  void Ingest(const RideRequest& request);
+  /// Per-request boundary processing (Δt = 0): advance, then register the
+  /// hailer or dispatch — the historical engine loop body.
+  void ProcessBoundary(const RideRequest& request);
+  /// Advances to the window close and dispatches the collected batch
+  /// (hailers registered first, then the online queue through the
+  /// dispatcher's batch entry point).
+  void FlushBatch(std::vector<RequestId>* queue,
+                  std::vector<RequestId>* hails, Seconds when);
+  /// Registers an offline request as a waiting street hailer.
+  void RegisterHailer(const RideRequest& request);
+  /// Dispatches one online request at `now` and applies the outcome.
+  void DispatchOne(const RideRequest& request, Seconds now);
   /// Executes due schedule events while the taxi sits at its location.
   void ExecuteDueEvents(TaxiState& taxi);
   void HandlePickup(TaxiState& taxi, const ScheduleEvent& event,
@@ -145,6 +186,10 @@ class SimulationEngine : public FleetSync {
   /// registered release when boundaries were skipped.
   bool deferred_pending_ = false;
   Seconds last_deferred_ = 0.0;
+  /// Latest ingested release time (the drain must reach it).
+  Seconds last_release_ = 0.0;
+  /// Scratch: batch pointers handed to Dispatcher::DispatchBatch.
+  std::vector<const RideRequest*> batch_buf_;
   /// Taxi currently inside AdvanceTaxi/AdvanceTaxiEvent (re-entrancy guard
   /// for SyncTaxi calls made from encounter dispatch).
   TaxiId advancing_ = kInvalidTaxi;

@@ -25,6 +25,9 @@ struct RequestRecord {
   Seconds pickup_time = -1.0;
   Seconds dropoff_time = -1.0;
   TaxiId taxi = kInvalidTaxi;
+  /// Dropped by the admission cap before reaching the dispatcher (the
+  /// request was registered but never evaluated; see ServeStats::shed).
+  bool shed = false;
   /// Wall-clock milliseconds the dispatcher spent on this request.
   double response_ms = 0.0;
   /// Candidate taxis examined at dispatch (paper Table III).
@@ -57,6 +60,26 @@ struct EngineStats {
   /// Fixed-point iterations of the end-of-run drain (each round extends
   /// the target to the latest committed route tail).
   int64_t drain_rounds = 0;
+};
+
+/// Ingest/admission counters of the streaming dispatch path — the run
+/// report's schema-5 "serve" block. Every run populates them: the classic
+/// vector replay is a batch window of 0 ms with one request per dispatch
+/// and nothing shed.
+struct ServeStats {
+  /// Configured batch window Δt, simulated milliseconds (0 = per-request
+  /// dispatch at each release boundary).
+  double batch_window_ms = 0.0;
+  /// Batch-window flushes (0 in per-request mode).
+  int64_t batches = 0;
+  /// Online requests handed to the dispatcher.
+  int64_t admitted = 0;
+  /// Online requests dropped by the admission cap (EngineOptions::max_queue)
+  /// without ever reaching the dispatcher.
+  int64_t shed = 0;
+  /// Peak depth of the pending dispatch queue (1 in per-request mode, the
+  /// largest batch otherwise; 0 when no online request arrived).
+  int64_t queue_depth = 0;
 };
 
 /// Aggregated results of one simulation run — the quantities the paper's
@@ -136,6 +159,8 @@ class Metrics {
   double offline_probe_ms = 0.0;
   /// Simulation-core counters (heap pops, lazy syncs, arcs stepped, ...).
   EngineStats engine;
+  /// Streaming-ingest counters (batch windows, admission, backpressure).
+  ServeStats serve;
 
  private:
   std::vector<RequestRecord> records_;

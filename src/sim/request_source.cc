@@ -1,0 +1,177 @@
+#include "sim/request_source.h"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "demand/trip_io.h"
+
+namespace mtshare {
+
+bool RequestSource::Next(RideRequest* out) {
+  if (has_buffered_) {
+    *out = buffered_;
+    has_buffered_ = false;
+    return true;
+  }
+  return Produce(out);
+}
+
+bool RequestSource::Peek(RideRequest* out) {
+  if (!has_buffered_) {
+    if (!Produce(&buffered_)) return false;
+    has_buffered_ = true;
+  }
+  *out = buffered_;
+  return true;
+}
+
+VectorRequestSource::VectorRequestSource(
+    const std::vector<RideRequest>* requests)
+    : requests_(requests) {
+  MTSHARE_CHECK(requests != nullptr);
+}
+
+bool VectorRequestSource::Produce(RideRequest* out) {
+  if (pos_ >= requests_->size()) return false;
+  *out = (*requests_)[pos_++];
+  return true;
+}
+
+StreamRequestSource::StreamRequestSource(std::istream* in,
+                                         StreamSourceOptions options)
+    : in_(in), options_(std::move(options)) {
+  MTSHARE_CHECK(in != nullptr);
+}
+
+Status StreamRequestSource::Malformed(const std::string& why) const {
+  std::ostringstream os;
+  os << "request stream line " << line_no_ << ": " << why;
+  return Status::InvalidArgument(os.str());
+}
+
+bool StreamRequestSource::Produce(RideRequest* out) {
+  if (!status_.ok()) return false;
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    std::string_view text = Trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    Result<RideRequest> parsed = ParseRequestLine(text);
+    if (!parsed.ok()) {
+      status_ = Malformed(parsed.status().message());
+      return false;
+    }
+    RideRequest r = std::move(parsed).value();
+    if (r.id == kInvalidRequest) r.id = next_id_;
+    if (options_.finalize) options_.finalize(&r);
+    // Validate here, where the error can carry a line number, instead of
+    // letting the engine CHECK-fail on a malformed stream.
+    if (r.id != next_id_) {
+      status_ = Malformed("ids must be dense from 0 (expected " +
+                          std::to_string(next_id_) + ", got " +
+                          std::to_string(r.id) + ")");
+      return false;
+    }
+    if (r.release_time < last_release_) {
+      status_ = Malformed("requests must be sorted by release time");
+      return false;
+    }
+    if (r.origin < 0 || r.destination < 0 ||
+        (options_.num_vertices > 0 &&
+         (r.origin >= options_.num_vertices ||
+          r.destination >= options_.num_vertices))) {
+      status_ = Malformed("origin/destination vertex out of range");
+      return false;
+    }
+    if (r.passengers < 1) {
+      status_ = Malformed("passengers must be >= 1");
+      return false;
+    }
+    if (r.direct_cost <= 0.0) {
+      status_ = Malformed(
+          "request has no direct_cost (carry one in the log or install a "
+          "finalize hook that derives it)");
+      return false;
+    }
+    if (r.deadline <= r.release_time) {
+      status_ = Malformed(
+          "request has no feasible deadline (carry one in the log or "
+          "install a finalize hook that derives it)");
+      return false;
+    }
+    ++next_id_;
+    last_release_ = r.release_time;
+    *out = r;
+    return true;
+  }
+  return false;
+}
+
+GeneratorRequestSource::GeneratorRequestSource(const DemandModel& demand,
+                                               DistanceOracle& oracle,
+                                               const ScenarioOptions& options)
+    : demand_(&demand),
+      oracle_(&oracle),
+      options_(options),
+      rng_(options.seed) {
+  MTSHARE_CHECK(options.rho > 1.0);
+  MTSHARE_CHECK(options.offline_fraction >= 0.0 &&
+                options.offline_fraction <= 1.0);
+  MTSHARE_CHECK(options.t_end > options.t_begin);
+  MTSHARE_CHECK(options.num_requests >= 0);
+  // Pre-sample only the release times — the same rejection sampling
+  // against the diurnal profile DemandModel::GenerateTrips runs, without
+  // materializing the trips behind them.
+  double max_weight = 0.0;
+  for (int32_t h = 0; h < 24; ++h) {
+    max_weight =
+        std::max(max_weight, DemandModel::DiurnalWeight(demand.day(), h));
+  }
+  release_times_.reserve(options.num_requests);
+  while (static_cast<int32_t>(release_times_.size()) < options.num_requests) {
+    Seconds t = rng_.NextUniform(options.t_begin, options.t_end);
+    double accept =
+        DemandModel::DiurnalWeight(demand.day(), HourOf(t)) / max_weight;
+    if (rng_.NextDouble() > accept) continue;
+    release_times_.push_back(t);
+  }
+  std::sort(release_times_.begin(), release_times_.end());
+}
+
+bool GeneratorRequestSource::Produce(RideRequest* out) {
+  while (next_time_ < release_times_.size()) {
+    const Seconds t = release_times_[next_time_++];
+    Trip trip = demand_->SampleTrip(t, rng_);
+    Seconds direct = oracle_->Cost(trip.origin, trip.destination);
+    for (int attempt = 0; attempt < 8 && (direct == kInfiniteCost ||
+                                          trip.origin == trip.destination);
+         ++attempt) {
+      trip = demand_->SampleTrip(t, rng_);
+      direct = oracle_->Cost(trip.origin, trip.destination);
+    }
+    if (direct == kInfiniteCost || trip.origin == trip.destination) {
+      continue;  // pathological sample; drop, like MakeScenario
+    }
+    RideRequest r;
+    r.id = next_id_++;
+    r.release_time = t;
+    r.origin = trip.origin;
+    r.destination = trip.destination;
+    r.direct_cost = direct;
+    r.deadline = t + options_.rho * direct;
+    r.passengers = 1;
+    if (rng_.NextDouble() < options_.multi_rider_fraction &&
+        options_.max_party > 1) {
+      r.passengers = static_cast<int32_t>(rng_.NextInt(2, options_.max_party));
+    }
+    r.offline = rng_.NextDouble() < options_.offline_fraction;
+    *out = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mtshare

@@ -1,0 +1,143 @@
+#ifndef MTSHARE_SIM_REQUEST_SOURCE_H_
+#define MTSHARE_SIM_REQUEST_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "demand/demand_model.h"
+#include "demand/request.h"
+#include "demand/request_generator.h"
+#include "routing/distance_oracle.h"
+
+namespace mtshare {
+
+/// Pull-based request ingest (DESIGN.md §12). The engine consumes one
+/// request at a time, so the full stream never has to exist in memory —
+/// the seam that lets the same dispatch loop replay a pre-materialized
+/// vector bit-identically, parse a live request log, or sample a
+/// million-request scenario lazily.
+///
+/// Contract:
+///  - single-pass: a source is consumed by exactly one run;
+///  - requests come out sorted by release time with ids dense from 0
+///    (sources self-validate and stop with a failed status() instead of
+///    handing a malformed request to the engine);
+///  - non-owning users (ScenarioSpec::source) must keep the source alive
+///    for the duration of the run.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Pops the next request. Returns false at end of stream or on error —
+  /// check status() to tell the two apart.
+  bool Next(RideRequest* out);
+
+  /// Reads the next request without consuming it (the engine peeks the
+  /// first release time to place the fleet). Same return convention.
+  bool Peek(RideRequest* out);
+
+  /// OK while the stream is healthy; the first parse/ordering error
+  /// otherwise. A failed source stops producing (Next returns false).
+  virtual Status status() const { return Status::OK(); }
+
+ protected:
+  /// Produces the next request, or returns false when exhausted/failed.
+  virtual bool Produce(RideRequest* out) = 0;
+
+ private:
+  bool has_buffered_ = false;
+  RideRequest buffered_;
+};
+
+/// Replays a pre-materialized request vector — the classic ingest path.
+/// Non-owning: the vector must outlive the source. Byte-identical to the
+/// pre-RequestSource engine loop by construction.
+class VectorRequestSource : public RequestSource {
+ public:
+  explicit VectorRequestSource(const std::vector<RideRequest>* requests);
+
+ protected:
+  bool Produce(RideRequest* out) override;
+
+ private:
+  const std::vector<RideRequest>* requests_;
+  size_t pos_ = 0;
+};
+
+struct StreamSourceOptions {
+  /// Called on every parsed request before validation — the seam that
+  /// fills fields the log omits (mtshare_serve derives `direct_cost` from
+  /// the oracle and `deadline` from rho without coupling sim to routing).
+  std::function<void(RideRequest*)> finalize;
+  /// When > 0, origin/destination vertices outside [0, num_vertices) fail
+  /// the stream with a line-tagged error instead of crashing downstream.
+  int64_t num_vertices = 0;
+};
+
+/// Parses newline-delimited requests from an istream as they arrive. Each
+/// non-comment line is one request in either the CSV or the JSON layout of
+/// FormatRequestCsv/FormatRequestJson (auto-detected per line; see
+/// demand/trip_io.h). Requests without an id get the next dense id, so raw
+/// service traffic does not need to carry ids. Malformed lines, unsorted
+/// release times, and non-dense explicit ids fail status() and end the
+/// stream.
+class StreamRequestSource : public RequestSource {
+ public:
+  /// `in` is non-owning and must outlive the source.
+  explicit StreamRequestSource(std::istream* in,
+                               StreamSourceOptions options = {});
+
+  Status status() const override { return status_; }
+  /// Requests produced so far (the serve tool's ingest counter).
+  int64_t produced() const { return next_id_; }
+
+ protected:
+  bool Produce(RideRequest* out) override;
+
+ private:
+  Status Malformed(const std::string& why) const;
+
+  std::istream* in_;
+  StreamSourceOptions options_;
+  Status status_ = Status::OK();
+  RequestId next_id_ = 0;
+  Seconds last_release_ = 0.0;
+  int64_t line_no_ = 0;
+};
+
+/// Streams a synthetic scenario without materializing it: only the release
+/// times are pre-sampled (8 bytes per request, rejection-sampled against
+/// the demand model's diurnal profile exactly like MakeScenario); the
+/// trips, oracle costs, and deadlines of each request materialize lazily
+/// per Next(). Deterministic for a fixed (demand, options.seed) pair —
+/// two instances produce identical streams.
+class GeneratorRequestSource : public RequestSource {
+ public:
+  /// `demand` and `oracle` are non-owning and must outlive the source.
+  /// Historical-trip generation is the caller's business (this source
+  /// covers only the evaluation window); options.num_historical_trips is
+  /// ignored.
+  GeneratorRequestSource(const DemandModel& demand, DistanceOracle& oracle,
+                         const ScenarioOptions& options);
+
+ protected:
+  bool Produce(RideRequest* out) override;
+
+ private:
+  const DemandModel* demand_;
+  DistanceOracle* oracle_;
+  ScenarioOptions options_;
+  Rng rng_;
+  std::vector<Seconds> release_times_;
+  size_t next_time_ = 0;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace mtshare
+
+#endif  // MTSHARE_SIM_REQUEST_SOURCE_H_

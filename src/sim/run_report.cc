@@ -134,7 +134,7 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   JsonWriter w(indent);
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(4);
+  w.Int(5);
   w.Key("experiment");
   w.String(context.experiment);
   w.Key("scheme");
@@ -262,6 +262,23 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Int(m.engine.boundaries_deferred);
   w.Key("drain_rounds");
   w.Int(m.engine.drain_rounds);
+  w.EndObject();
+
+  // schema_version 5 adds the serve block: the streaming-ingest discipline
+  // (batch window) and its admission/backpressure counters. Classic runs
+  // report batch_window_ms 0, one request per dispatch, nothing shed.
+  w.Key("serve");
+  w.BeginObject();
+  w.Key("batch_window_ms");
+  w.Double(m.serve.batch_window_ms);
+  w.Key("batches");
+  w.Int(m.serve.batches);
+  w.Key("admitted");
+  w.Int(m.serve.admitted);
+  w.Key("shed");
+  w.Int(m.serve.shed);
+  w.Key("queue_depth");
+  w.Int(m.serve.queue_depth);
   w.EndObject();
 
   w.Key("index_memory_bytes");

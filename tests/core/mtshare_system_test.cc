@@ -97,6 +97,19 @@ class MTShareSystemTest : public ::testing::Test {
         net_, scenario_.HistoricalOdPairs(), config_);
   }
 
+  // Runs the fixture scenario through the spec API (the old positional
+  // overload is gone).
+  Metrics Run(SchemeKind scheme, int32_t taxis, uint64_t fleet_seed = 1) {
+    ScenarioSpec spec;
+    spec.scheme = scheme;
+    spec.requests = &scenario_.requests;
+    spec.num_taxis = taxis;
+    spec.fleet_seed = fleet_seed;
+    Result<Metrics> m = system_->RunScenario(spec);
+    EXPECT_TRUE(m.ok()) << m.status();
+    return m.value();
+  }
+
   RoadNetwork net_;
   std::unique_ptr<DemandModel> demand_;
   std::unique_ptr<DistanceOracle> oracle_;
@@ -116,7 +129,7 @@ TEST_F(MTShareSystemTest, AllSchemesRunAndRespectInvariants) {
   for (SchemeKind scheme :
        {SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
         SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
-    Metrics m = system_->RunScenario(scheme, scenario_.requests, 30);
+    Metrics m = Run(scheme, 30);
     EXPECT_LE(m.ServedRequests(), m.TotalRequests()) << SchemeName(scheme);
     EXPECT_GE(m.ServedRequests(), 0) << SchemeName(scheme);
     EXPECT_GE(m.MeanWaitingMinutes(), 0.0) << SchemeName(scheme);
@@ -136,46 +149,37 @@ TEST_F(MTShareSystemTest, AllSchemesRunAndRespectInvariants) {
 }
 
 TEST_F(MTShareSystemTest, SharingBeatsNoSharing) {
-  Metrics none = system_->RunScenario(SchemeKind::kNoSharing,
-                                      scenario_.requests, 25);
-  Metrics mt = system_->RunScenario(SchemeKind::kMtShare,
-                                    scenario_.requests, 25);
+  Metrics none = Run(SchemeKind::kNoSharing, 25);
+  Metrics mt = Run(SchemeKind::kMtShare, 25);
   EXPECT_GT(mt.ServedRequests(), none.ServedRequests());
 }
 
 TEST_F(MTShareSystemTest, NoSharingHasZeroDetour) {
-  Metrics m = system_->RunScenario(SchemeKind::kNoSharing,
-                                   scenario_.requests, 30);
+  Metrics m = Run(SchemeKind::kNoSharing, 30);
   EXPECT_NEAR(m.MeanDetourMinutes(), 0.0, 1e-9);
 }
 
 TEST_F(MTShareSystemTest, NoSharingServesNoOffline) {
-  Metrics m = system_->RunScenario(SchemeKind::kNoSharing,
-                                   scenario_.requests, 30);
+  Metrics m = Run(SchemeKind::kNoSharing, 30);
   EXPECT_EQ(m.ServedOffline(), 0);
 }
 
 TEST_F(MTShareSystemTest, SharingSchemesCanServeOffline) {
-  Metrics m = system_->RunScenario(SchemeKind::kMtSharePro,
-                                   scenario_.requests, 30);
+  Metrics m = Run(SchemeKind::kMtSharePro, 30);
   EXPECT_GE(m.ServedOffline(), 0);  // encounter-driven, workload-dependent
   EXPECT_GT(m.ServedRequests(), 0);
 }
 
 TEST_F(MTShareSystemTest, DeterministicRuns) {
-  Metrics a = system_->RunScenario(SchemeKind::kTShare, scenario_.requests,
-                                   20, /*fleet_seed=*/9);
-  Metrics b = system_->RunScenario(SchemeKind::kTShare, scenario_.requests,
-                                   20, /*fleet_seed=*/9);
+  Metrics a = Run(SchemeKind::kTShare, 20, /*fleet_seed=*/9);
+  Metrics b = Run(SchemeKind::kTShare, 20, /*fleet_seed=*/9);
   EXPECT_EQ(a.ServedRequests(), b.ServedRequests());
   EXPECT_DOUBLE_EQ(a.MeanWaitingMinutes(), b.MeanWaitingMinutes());
 }
 
 TEST_F(MTShareSystemTest, MoreTaxisServeMore) {
-  Metrics small = system_->RunScenario(SchemeKind::kMtShare,
-                                       scenario_.requests, 10);
-  Metrics large = system_->RunScenario(SchemeKind::kMtShare,
-                                       scenario_.requests, 50);
+  Metrics small = Run(SchemeKind::kMtShare, 10);
+  Metrics large = Run(SchemeKind::kMtShare, 50);
   EXPECT_GE(large.ServedRequests(), small.ServedRequests());
 }
 
@@ -226,9 +230,13 @@ TEST_F(MTShareSystemTest, GridPartitioningVariantRuns) {
   SystemConfig cfg = config_;
   cfg.bipartite_partitioning = false;
   MTShareSystem grid_system(net_, scenario_.HistoricalOdPairs(), cfg);
-  Metrics m = grid_system.RunScenario(SchemeKind::kMtShare,
-                                      scenario_.requests, 25);
-  EXPECT_GT(m.ServedRequests(), 0);
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario_.requests;
+  spec.num_taxis = 25;
+  Result<Metrics> m = grid_system.RunScenario(spec);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_GT(m.value().ServedRequests(), 0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph_generators.h"
+#include "sim/request_source.h"
 
 namespace mtshare {
 namespace {
@@ -173,12 +174,20 @@ TEST_F(ScenarioSpecTest, BatchedRoutingMatchesPerPairBitwise) {
   }
 }
 
-TEST_F(ScenarioSpecTest, LegacyOverloadMatchesSpecApi) {
-  Metrics legacy = FreshSystem()->RunScenario(SchemeKind::kMtShare,
-                                              scenario_.requests, 24,
-                                              /*fleet_seed=*/7);
+/// ScenarioSpec.requests is sugar for a VectorRequestSource over the same
+/// vector — the two spellings must be indistinguishable down to oracle
+/// counters (the engine runs one ingest path for both).
+TEST_F(ScenarioSpecTest, ExplicitVectorSourceMatchesRequestsPointer) {
+  VectorRequestSource source(&scenario_.requests);
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.source = &source;
+  spec.num_taxis = 24;
+  spec.fleet_seed = 7;
+  Result<Metrics> streamed = FreshSystem()->RunScenario(spec);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
   Metrics spec_run = RunWithThreads(SchemeKind::kMtShare, 1);
-  ExpectIdenticalOutcomes(legacy, spec_run, "legacy-vs-spec");
+  ExpectIdenticalOutcomes(streamed.value(), spec_run, "source-vs-requests");
 }
 
 TEST_F(ScenarioSpecTest, OracleCountersSurfaceThroughMetrics) {
@@ -207,6 +216,21 @@ TEST_F(ScenarioSpecTest, ValidateRejectsBadSpecs) {
   EXPECT_EQ(system->RunScenario(spec).status().code(),
             StatusCode::kInvalidArgument);
   spec.num_threads = 4096;
+  EXPECT_EQ(system->RunScenario(spec).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // requests and source are exclusive; the serve knobs must be sane.
+  spec.num_threads = 1;
+  VectorRequestSource source(&scenario_.requests);
+  spec.source = &source;
+  EXPECT_EQ(system->RunScenario(spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec.source = nullptr;
+  spec.batch_window_ms = -1.0;
+  EXPECT_EQ(system->RunScenario(spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec.batch_window_ms = 0.0;
+  spec.max_queue = -5;
   EXPECT_EQ(system->RunScenario(spec).status().code(),
             StatusCode::kInvalidArgument);
 }

@@ -37,6 +37,18 @@ class DispatchersTest : public ::testing::Test {
         net_, scenario_.HistoricalOdPairs(), cfg);
   }
 
+  // Runs the fixture scenario through the spec API (the old positional
+  // overload is gone).
+  Metrics Run(SchemeKind scheme, int32_t taxis) {
+    ScenarioSpec spec;
+    spec.scheme = scheme;
+    spec.requests = &scenario_.requests;
+    spec.num_taxis = taxis;
+    Result<Metrics> m = system_->RunScenario(spec);
+    EXPECT_TRUE(m.ok()) << m.status();
+    return m.value();
+  }
+
   RoadNetwork net_;
   std::unique_ptr<DemandModel> demand_;
   std::unique_ptr<DistanceOracle> oracle_;
@@ -79,14 +91,10 @@ TEST_F(DispatchersTest, ComparativeServedOrdering) {
   // Paper Figs. 6/10: sharing schemes serve more than No-Sharing and
   // mT-Share serves the most.
   const int32_t taxis = 30;
-  Metrics none =
-      system_->RunScenario(SchemeKind::kNoSharing, scenario_.requests, taxis);
-  Metrics tshare =
-      system_->RunScenario(SchemeKind::kTShare, scenario_.requests, taxis);
-  Metrics pgreedy =
-      system_->RunScenario(SchemeKind::kPGreedyDp, scenario_.requests, taxis);
-  Metrics mt =
-      system_->RunScenario(SchemeKind::kMtShare, scenario_.requests, taxis);
+  Metrics none = Run(SchemeKind::kNoSharing, taxis);
+  Metrics tshare = Run(SchemeKind::kTShare, taxis);
+  Metrics pgreedy = Run(SchemeKind::kPGreedyDp, taxis);
+  Metrics mt = Run(SchemeKind::kMtShare, taxis);
 
   // T-Share's first-valid greed can sink to No-Sharing levels under light
   // demand (the paper observes the same in Fig. 10); require "similar".
@@ -101,10 +109,8 @@ TEST_F(DispatchersTest, CandidateSetOrdering) {
   // Paper Table III: T-Share's dual-side search examines fewer candidates
   // than pGreedyDP's single-side scan.
   const int32_t taxis = 30;
-  Metrics tshare =
-      system_->RunScenario(SchemeKind::kTShare, scenario_.requests, taxis);
-  Metrics pgreedy =
-      system_->RunScenario(SchemeKind::kPGreedyDp, scenario_.requests, taxis);
+  Metrics tshare = Run(SchemeKind::kTShare, taxis);
+  Metrics pgreedy = Run(SchemeKind::kPGreedyDp, taxis);
   EXPECT_LT(tshare.MeanCandidates(), pgreedy.MeanCandidates());
 }
 
@@ -149,13 +155,11 @@ TEST_F(DispatchersTest, MtShareDetourNeverNegative) {
 }
 
 TEST_F(DispatchersTest, ProVariantUsesProbabilisticRoutes) {
-  Metrics pro = system_->RunScenario(SchemeKind::kMtSharePro,
-                                     scenario_.requests, 30);
+  Metrics pro = Run(SchemeKind::kMtSharePro, 30);
   // The pro variant must still behave sanely.
   EXPECT_GT(pro.ServedRequests(), 0);
   // Probabilistic routing costs more response time than basic mT-Share.
-  Metrics basic = system_->RunScenario(SchemeKind::kMtShare,
-                                       scenario_.requests, 30);
+  Metrics basic = Run(SchemeKind::kMtShare, 30);
   EXPECT_GE(pro.MeanResponseMs(), basic.MeanResponseMs() * 0.5);
 }
 

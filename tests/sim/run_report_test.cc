@@ -39,11 +39,11 @@ bool HasKey(const std::string& json, const std::string& key) {
 }
 
 void ValidateReportSchema(const std::string& json) {
-  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 4.0);
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 5.0);
   for (const char* key :
        {"experiment", "scheme", "window", "num_taxis", "num_requests",
         "seed", "requests", "response_ms", "waiting_min", "detour_min",
-        "candidates", "phases", "oracle", "routing", "engine",
+        "candidates", "phases", "oracle", "routing", "engine", "serve",
         "index_memory_bytes", "total_driver_income", "execution_seconds"}) {
     EXPECT_TRUE(HasKey(json, key)) << "missing top-level key " << key;
   }
@@ -76,6 +76,13 @@ void ValidateReportSchema(const std::string& json) {
     EXPECT_GE(NumberAfter(json, "engine", key), 0.0) << key;
   }
   EXPECT_GE(NumberAfter(json, "engine", "drain_rounds"), 1.0);
+
+  // Streaming-ingest counters (added in schema_version 5). Classic runs
+  // report a zero batch window with every request admitted, nothing shed.
+  for (const char* key : {"batch_window_ms", "batches", "admitted", "shed",
+                          "queue_depth"}) {
+    EXPECT_GE(NumberAfter(json, "serve", key), 0.0) << key;
+  }
 
   // Percentiles must be monotone within every distribution.
   for (const char* dist :
@@ -291,7 +298,9 @@ TEST(MtshareSimCliTest, ReportFlagEmitsValidJson) {
 TEST(MtshareSimCliTest, RejectsMalformedNumericFlags) {
   // Regression: "--taxis=abc" used to atoi to 0 and run an empty fleet.
   for (const char* flag : {"--taxis=abc", "--requests=12x", "--rho=",
-                           "--threads=-2", "--seed=4 2"}) {
+                           "--threads=-2", "--seed=4 2",
+                           "--batch-window-ms=abc", "--batch-window-ms=-5",
+                           "--max-queue=x"}) {
     std::string cmd = std::string(MTSHARE_SIM_BINARY) + " \"" +
                       std::string(flag) + "\" > /dev/null 2>&1";
     EXPECT_EQ(RunCommand(cmd), 2) << flag;

@@ -29,6 +29,13 @@
 //                  walk; decision metrics identical either way)
 //   --rows/--cols  generated city size     (default 48x48)
 //   --network      edge-list CSV to load instead of generating
+//   --batch-window-ms  batch-window ingest Δt, simulated ms (default 0 =
+//                  dispatch each request at its own release boundary; see
+//                  DESIGN.md §12)
+//   --max-queue    admission cap on the pending dispatch queue (default 0
+//                  = unbounded; arrivals past the cap are shed)
+//   --save-requests  write the scenario's request log here (the wire
+//                  format mtshare_serve ingests; see demand/trip_io.h)
 //   --per-request  write a per-request CSV record here
 //   --report       write a structured JSON run report here (percentiles,
 //                  per-phase dispatch breakdown; see EXPERIMENTS.md)
@@ -41,6 +48,7 @@
 
 #include "common/string_util.h"
 #include "core/mtshare_system.h"
+#include "demand/trip_io.h"
 #include "graph/graph_generators.h"
 #include "graph/graph_io.h"
 #include "sim/run_report.h"
@@ -158,6 +166,12 @@ int main(int argc, char** argv) {
 
   const int32_t num_taxis = GetCount(args, "taxis", 150, &ok);
   const int32_t num_threads = GetCount(args, "threads", 1, &ok);
+  const double batch_window_ms = GetD(args, "batch-window-ms", 0.0, &ok);
+  if (ok && batch_window_ms < 0.0) {
+    std::fprintf(stderr, "--batch-window-ms must be >= 0\n");
+    ok = false;
+  }
+  const int32_t max_queue = GetCount(args, "max-queue", 0, &ok);
   const std::string engine_mode = GetS(args, "engine", "event");
   if (engine_mode != "event" && engine_mode != "sweep") {
     std::fprintf(stderr, "unknown --engine (want event|sweep)\n");
@@ -204,6 +218,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "system: %s\n", system.status().ToString().c_str());
     return 2;
   }
+  std::string save_requests = GetS(args, "save-requests", "");
+  if (!save_requests.empty()) {
+    Status saved = SaveRequestLog(save_requests, scenario.requests);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save-requests: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("request log written to %s\n", save_requests.c_str());
+  }
+
   ScenarioSpec spec;
   spec.scheme = *scheme;
   spec.requests = &scenario.requests;
@@ -211,6 +235,8 @@ int main(int argc, char** argv) {
   spec.fleet_seed = seed + 3;
   spec.num_threads = num_threads;
   spec.event_driven = engine_mode == "event";
+  spec.batch_window_ms = batch_window_ms;
+  spec.max_queue = max_queue;
   Result<Metrics> run = system.value()->RunScenario(spec);
   if (!run.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());

@@ -15,13 +15,20 @@ if(NOT EXISTS "${REPORT_PATH}")
   message(FATAL_ERROR "report file was not written: ${REPORT_PATH}")
 endif()
 file(READ "${REPORT_PATH}" report)
+# Keys through schema_version 5 (the "serve" admission/backpressure block).
 foreach(key "schema_version" "response_ms" "p95" "phases" "dispatch_total_ms"
         "routing" "batch_queries" "settled_vertices" "lb_pruned"
-        "fallback_queries")
+        "fallback_queries" "serve" "batch_window_ms" "admitted" "shed"
+        "queue_depth")
   if(NOT report MATCHES "\"${key}\"")
     message(FATAL_ERROR "report missing key '${key}':\n${report}")
   endif()
 endforeach()
+# Every online request in a classic run is admitted; zero means the serve
+# counters are not wired through the engine.
+if(report MATCHES "\"admitted\": *0[,\n}]")
+  message(FATAL_ERROR "report shows zero admitted requests:\n${report}")
+endif()
 # A batched-routing miss during insertion means the priming fan has a
 # coverage hole; fail the smoke loudly rather than silently degrade.
 if(NOT report MATCHES "\"fallback_queries\": *0[,\n}]")

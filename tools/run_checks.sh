@@ -8,6 +8,8 @@
 #   4. smoke-run mtshare_sim --report and check the JSON schema marker,
 #      run both advancement cores (--engine=sweep|event) and check the
 #      schema-4 engine counters, and smoke BM_EngineAdvance
+#   5. serve smoke: pipe a --save-requests log through mtshare_serve and
+#      check the decision stream plus the schema-5 "serve" block
 #
 # Run from the repo root:  tools/run_checks.sh
 # Also reachable as:       cmake --build build --target check
@@ -18,30 +20,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${MTSHARE_CHECK_JOBS:-$(nproc)}
 
-echo "==> [1/4] default preset: build + tier-1 tests"
+echo "==> [1/5] default preset: build + tier-1 tests"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
 if [[ "${MTSHARE_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "==> [2/4] tsan preset: build + concurrency tests"
+  echo "==> [2/5] tsan preset: build + concurrency tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS" --target mtshare_thread_tests
   ctest --preset tsan -j "$JOBS"
 else
-  echo "==> [2/4] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
+  echo "==> [2/5] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
 fi
 
 if [[ "${MTSHARE_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "==> [3/4] asan preset: build + full suite under ASan/LSan"
+  echo "==> [3/5] asan preset: build + full suite under ASan/LSan"
   cmake --preset asan >/dev/null
-  cmake --build --preset asan -j "$JOBS" --target mtshare_tests mtshare_thread_tests mtshare_sim_cli
+  cmake --build --preset asan -j "$JOBS" --target mtshare_tests mtshare_thread_tests mtshare_sim_cli mtshare_serve_cli
   ctest --preset asan -j "$JOBS"
 else
-  echo "==> [3/4] asan preset: skipped (MTSHARE_SKIP_ASAN=1)"
+  echo "==> [3/5] asan preset: skipped (MTSHARE_SKIP_ASAN=1)"
 fi
 
-echo "==> [4/4] run-report smoke"
+echo "==> [4/5] run-report smoke"
 report=$(mktemp /tmp/mtshare_report.XXXXXX.json)
 trap 'rm -f "$report"' EXIT
 build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
@@ -72,5 +74,25 @@ echo "report OK: $report"
 build/bench/bench_micro_components \
   --benchmark_filter='BM_EngineAdvance/fleet:100/' \
   --benchmark_min_time=0.01 >/dev/null
+
+echo "==> [5/5] serve smoke (log pipe + schema-5 serve block)"
+request_log=$(mktemp /tmp/mtshare_requests.XXXXXX.csv)
+decisions=$(mktemp /tmp/mtshare_decisions.XXXXXX.jsonl)
+trap 'rm -f "$report" "$request_log" "$decisions"' EXIT
+build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --requests=80 --save-requests="$request_log" >/dev/null
+build/tools/mtshare_serve --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --gauge-every=0 --report="$report" \
+  < "$request_log" > "$decisions" 2>/dev/null
+grep -q '"serve"' "$report"
+grep -q '"admitted"' "$report"
+# Everything logged must be admitted — "admitted": 0 means the serve
+# counters are dead.
+if grep -q '"admitted": 0,' "$report"; then
+  echo "serve smoke: zero admitted requests" >&2
+  exit 1
+fi
+grep -q '"id":0' "$decisions"
+echo "serve OK: $(wc -l < "$decisions") decision lines"
 
 echo "all checks passed"
