@@ -158,6 +158,19 @@ void BenchEnv::RecordRun(const ScenarioSpec& spec, const Metrics& metrics) {
   }
 }
 
+void RecordTrajectoryRun(const RunReportContext& ctx, const Metrics& metrics) {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  if (g_report_path.empty()) return;
+  RunReportContext line = ctx;
+  if (line.experiment.empty()) line.experiment = g_report_experiment;
+  Status appended = AppendRunReportLine(g_report_path, line, metrics);
+  if (!appended.ok()) {
+    std::fprintf(stderr, "bench report disabled: %s\n",
+                 appended.ToString().c_str());
+    g_report_path.clear();
+  }
+}
+
 std::vector<Metrics> BenchEnv::RunAll(const std::vector<ScenarioSpec>& jobs) {
   const int32_t threads = BenchThreads();
   std::vector<Metrics> results(jobs.size());

@@ -7,6 +7,7 @@
 
 #include "core/mtshare_system.h"
 #include "graph/graph_generators.h"
+#include "sim/run_report.h"
 
 namespace mtshare::bench {
 
@@ -99,6 +100,13 @@ class BenchEnv {
 /// MTSHARE_BENCH_REPORT=0 to disable). The line format is the run-report
 /// schema documented in EXPERIMENTS.md.
 void PrintBanner(const std::string& experiment, const std::string& paper_ref);
+
+/// Appends one run to the armed trajectory file with a caller-built context
+/// — for benches that construct their own network/system instead of a
+/// BenchEnv (bench_scale streams requests through a RequestSource, so no
+/// scenario request vector exists). ctx.experiment defaults to the banner
+/// slug when left empty. No-op until PrintBanner armed reporting.
+void RecordTrajectoryRun(const RunReportContext& ctx, const Metrics& metrics);
 void PrintHeader(const std::vector<std::string>& columns);
 void PrintRow(const std::vector<std::string>& cells);
 std::string Fmt(double value, int precision = 2);

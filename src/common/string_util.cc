@@ -58,6 +58,20 @@ bool ParseInt64(std::string_view text, int64_t* out) {
   return true;
 }
 
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  std::string buf(Trim(text));
+  if (buf.empty()) return false;
+  // strtoull accepts "-1" and wraps it to UINT64_MAX; reject any sign
+  // explicitly ("+1" included, to keep the accepted grammar plain digits).
+  if (!std::isdigit(static_cast<unsigned char>(buf[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
 std::string FormatDouble(double value, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);

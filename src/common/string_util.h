@@ -1,6 +1,7 @@
 #ifndef MTSHARE_COMMON_STRING_UTIL_H_
 #define MTSHARE_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,12 @@ bool ParseDouble(std::string_view text, double* out);
 
 /// Parses a signed 64-bit integer; returns false on malformed input.
 bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses an unsigned 64-bit integer; returns false on malformed input.
+/// Unlike strtoull, a leading '-' is rejected instead of wrapping, so
+/// "-1" never silently becomes 2^64-1 (RNG seeds must round-trip exactly,
+/// including UINT64_MAX, which a double-based parse cannot represent).
+bool ParseUint64(std::string_view text, uint64_t* out);
 
 /// Fixed-precision formatting helper for benchmark tables.
 std::string FormatDouble(double value, int precision);

@@ -42,6 +42,10 @@ Status SystemConfig::Validate() const {
   if (oracle.lru_shards <= 0) {
     return Status::InvalidArgument("oracle.lru_shards must be positive");
   }
+  if (oracle.lru_max_bytes < 0) {
+    return Status::InvalidArgument(
+        "oracle.lru_max_bytes must be non-negative (0 = uncapped)");
+  }
   if (oracle.ch.witness_settle_limit <= 0) {
     return Status::InvalidArgument(
         "oracle.ch.witness_settle_limit must be positive");

@@ -61,12 +61,17 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
   // Materialize every candidate before any state is read — sequentially,
   // ahead of the pool fan-out, so lazy advancement never runs on a worker.
   for (TaxiId id : candidates) SyncTaxiState(id, now);
-  std::vector<InsertionResult> results(candidates.size());
+  // Reused per-call scratch: slots are overwritten by evaluate() (or their
+  // `found` flag cleared on the skip path), so stale entries from the
+  // previous request can never leak into the reduction.
+  eval_results_.resize(candidates.size());
+  std::vector<InsertionResult>& results = eval_results_;
   // Lower-bound prune first (sequential, so the counter and the batch are
   // thread-count invariant): a pruned candidate's pickup provably misses
   // its deadline, so its DP could only return found == false — skip it and
   // keep its stops out of the priming fan.
-  std::vector<uint8_t> skip(candidates.size(), 0);
+  eval_skip_.assign(candidates.size(), 0);
+  std::vector<uint8_t>& skip = eval_skip_;
   if (lb_landmarks_ != nullptr) {
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (LowerBoundPrunesPickup(taxi(candidates[i]).location, request,
@@ -89,7 +94,10 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     cost = OracleCost();
   }
   auto evaluate = [&](size_t i) {
-    if (skip[i]) return;  // results[i].found stays false
+    if (skip[i]) {
+      results[i].found = false;  // slot may hold a previous request's result
+      return;
+    }
     const TaxiState& t = taxi(candidates[i]);
     results[i] = FindBestInsertionDp(t.schedule, request, t.location, now,
                                      t.onboard, t.capacity, cost);

@@ -280,6 +280,11 @@ class Dispatcher {
   const LandmarkGraph* lb_landmarks_ = nullptr;
   int64_t lb_pruned_ = 0;
   std::vector<VertexId> batch_walk_buf_;
+  /// EvaluateCandidates scratch, reused across requests (each slot is
+  /// rewritten — or its `found` flag cleared — before the reduction reads
+  /// it). Worker threads write disjoint slots only.
+  std::vector<InsertionResult> eval_results_;
+  std::vector<uint8_t> eval_skip_;
   /// Per-phase dispatch time; schemes attribute their sections with
   /// ScopedPhaseTimer. Written only by the engine thread.
   PhaseTimers phase_timers_;

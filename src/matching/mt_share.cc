@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -61,41 +60,47 @@ bool MtShareDispatcher::ProbQualifies(const TaxiState& t) const {
   return t.FreeSeats() >= static_cast<int32_t>(std::ceil(needed - 1e-9));
 }
 
-std::vector<TaxiId> MtShareDispatcher::CandidateTaxis(
+const std::vector<TaxiId>& MtShareDispatcher::CandidateTaxis(
     const RideRequest& request, Seconds now, double gamma) {
   const Point& origin = network_.coord(request.origin);
   MobilityVector rv{origin, network_.coord(request.destination)};
 
-  std::vector<PartitionId> area;
-  std::unordered_set<TaxiId> in_cluster;
+  // One epoch bump covers both stamp arrays for this call.
+  if (static_cast<int32_t>(seen_stamp_.size()) <
+      static_cast<int32_t>(fleet_->size())) {
+    seen_stamp_.assign(fleet_->size(), 0);
+    cluster_stamp_.assign(fleet_->size(), 0);
+  }
+  ++seen_epoch_;
+
+  area_buf_.clear();
   {
     // Partition + mobility-compatibility setup is the filter phase: it
     // decides which taxis are even eligible before the arrival lists are
     // scanned.
     ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
     // Partitions intersecting the searching circle (eq. (3)'s S_ri).
-    area = partitioning_.PartitionsIntersectingCircle(origin, gamma);
+    partitioning_.AppendPartitionsIntersectingCircle(origin, gamma,
+                                                     &area_buf_);
 
     // Direction-compatible mobility cluster(s): the single best C_a per the
     // literal eq. (3), or the union of all passing clusters (default; avoids
     // losing taxis to cluster fragmentation).
-    std::vector<TaxiId> cluster_taxis =
-        config_.match_all_compatible_clusters
-            ? index_.CompatibleClusterTaxis(rv)
-            : index_.ClusterTaxis(index_.FindCluster(rv));
-    in_cluster.insert(cluster_taxis.begin(), cluster_taxis.end());
+    cluster_buf_.clear();
+    if (config_.match_all_compatible_clusters) {
+      index_.AppendCompatibleClusterTaxis(rv, &cluster_buf_);
+    } else {
+      index_.AppendClusterTaxis(index_.FindCluster(rv), &cluster_buf_);
+    }
+    for (TaxiId id : cluster_buf_) cluster_stamp_[id] = seen_epoch_;
   }
 
   ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
-  std::vector<TaxiId> candidates;
+  std::vector<TaxiId>& candidates = candidates_buf_;
+  candidates.clear();
   const Seconds pickup_deadline = request.PickupDeadline();
   // Epoch-stamped dedup across overlapping partitions.
-  if (static_cast<int32_t>(seen_stamp_.size()) <
-      static_cast<int32_t>(fleet_->size())) {
-    seen_stamp_.assign(fleet_->size(), 0);
-  }
-  ++seen_epoch_;
-  for (PartitionId p : area) {
+  for (PartitionId p : area_buf_) {
     for (const MtShareTaxiIndex::Arrival& entry : index_.PartitionTaxis(p)) {
       // Lists are arrival-sorted (Sec. IV-B3): once an entry arrives after
       // the pickup deadline, every later one does too (refinement rule 3,
@@ -107,7 +112,7 @@ std::vector<TaxiId> MtShareDispatcher::CandidateTaxis(
       const TaxiState& t = taxi(id);
       // Rule (eq. 3): busy taxis must share the travel direction; empty
       // taxis are always eligible (refinement rule 1).
-      if (!t.Idle() && !in_cluster.count(id)) continue;
+      if (!t.Idle() && cluster_stamp_[id] != seen_epoch_) continue;
       // Refinement rule 2: idle capacity.
       if (t.FreeSeats() < request.passengers) continue;
       // Refinement rule 3. The landmark lower bound settles most
@@ -132,7 +137,7 @@ DispatchOutcome MtShareDispatcher::Dispatch(const RideRequest& request,
   // the adaptive value only ever shrinks it when the budget is *larger*
   // than the cap allows (it never is at the default rho).
   double gamma = config_.gamma_max_m;
-  std::vector<TaxiId> candidates = CandidateTaxis(request, now, gamma);
+  const std::vector<TaxiId>& candidates = CandidateTaxis(request, now, gamma);
 
   // Exhaustive insertion over the candidate set (Algorithm 1), fanned out
   // across the attached thread pool. The reduction in EvaluateCandidates is

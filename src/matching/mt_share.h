@@ -55,8 +55,10 @@ class MtShareDispatcher : public Dispatcher {
 
  private:
   /// Candidate taxi set T_ri of paper eq. (3) plus the refinement rules.
-  std::vector<TaxiId> CandidateTaxis(const RideRequest& request, Seconds now,
-                                     double gamma);
+  /// Returns a reference into `candidates_buf_`, valid until the next call
+  /// (Dispatch is serialized per dispatcher instance, see DESIGN.md).
+  const std::vector<TaxiId>& CandidateTaxis(const RideRequest& request,
+                                            Seconds now, double gamma);
 
   /// Whether this taxi may drive probabilistic legs right now.
   bool ProbQualifies(const TaxiState& t) const;
@@ -64,9 +66,17 @@ class MtShareDispatcher : public Dispatcher {
   const MapPartitioning& partitioning_;
   RoutePlanner planner_;
   MtShareTaxiIndex index_;
-  /// Epoch-stamped visited markers for candidate dedup (O(1) reset).
+  /// Epoch-stamped visited markers for candidate dedup and for the
+  /// direction-compatible cluster membership test (O(1) reset: one epoch
+  /// bump per CandidateTaxis call covers both arrays).
   std::vector<uint32_t> seen_stamp_;
+  std::vector<uint32_t> cluster_stamp_;
   uint32_t seen_epoch_ = 0;
+  /// Per-request scratch (cleared + refilled each call; capacity persists
+  /// so steady-state candidate search performs no allocations).
+  std::vector<PartitionId> area_buf_;
+  std::vector<TaxiId> cluster_buf_;
+  std::vector<TaxiId> candidates_buf_;
 };
 
 }  // namespace mtshare

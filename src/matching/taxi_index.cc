@@ -16,9 +16,8 @@ MtShareTaxiIndex::MtShareTaxiIndex(const RoadNetwork& network,
       clustering_(lambda) {}
 
 void MtShareTaxiIndex::RemoveTaxiPartitions(TaxiId id) {
-  auto it = taxi_partitions_.find(id);
-  if (it == taxi_partitions_.end()) return;
-  for (const Membership& m : it->second) {
+  if (static_cast<size_t>(id) >= taxi_partitions_.size()) return;
+  for (const Membership& m : taxi_partitions_[id]) {
     auto& list = partition_taxis_[m.partition];
     // The list is arrival-sorted and the membership recorded the entry's
     // arrival time: binary-search to the tie range instead of scanning the
@@ -33,7 +32,9 @@ void MtShareTaxiIndex::RemoveTaxiPartitions(TaxiId id) {
       }
     }
   }
-  taxi_partitions_.erase(it);
+  // clear() keeps the slot's capacity: the subsequent reindex refills it
+  // without touching the allocator.
+  taxi_partitions_[id].clear();
 }
 
 bool MtShareTaxiIndex::PartitionContains(PartitionId p, TaxiId id) const {
@@ -52,9 +53,12 @@ void MtShareTaxiIndex::ReindexTaxiAt(const TaxiState& taxi, size_t pos,
   // The taxi's location as of route position `pos` — falls back to the
   // stored location for drained/empty routes (ReindexTaxi delegation).
   VertexId location =
-      pos < taxi.route.size() ? taxi.route[pos] : taxi.location;
+      pos < taxi.route.size() ? taxi.route.vertex(pos) : taxi.location;
+  if (static_cast<size_t>(taxi.id) >= taxi_partitions_.size()) {
+    taxi_partitions_.resize(taxi.id + 1);
+  }
   RemoveTaxiPartitions(taxi.id);
-  std::vector<Membership> memberships;
+  std::vector<Membership>& memberships = taxi_partitions_[taxi.id];
   auto add = [&](PartitionId p, Seconds arrival) {
     // Memberships are visited in increasing arrival order, so the first
     // insertion carries the earliest arrival. All of this taxi's old
@@ -76,11 +80,10 @@ void MtShareTaxiIndex::ReindexTaxiAt(const TaxiState& taxi, size_t pos,
   add(partitioning_.PartitionOf(location), now);
   // Partitions along the committed route, first-arrival within T_mp.
   for (size_t i = pos; i < taxi.route.size(); ++i) {
-    Seconds arrival = taxi.route_times[i];
+    Seconds arrival = taxi.route.time(i);
     if (arrival > now + tmp_) break;
-    add(partitioning_.PartitionOf(taxi.route[i]), arrival);
+    add(partitioning_.PartitionOf(taxi.route.vertex(i)), arrival);
   }
-  taxi_partitions_.emplace(taxi.id, std::move(memberships));
 
   // Mobility cluster: busy taxis only (Sec. IV-B2 excludes empty taxis).
   MobilityVector mv = TaxiMobilityVectorFrom(taxi, network_, location);
@@ -103,9 +106,10 @@ void MtShareTaxiIndex::OnTaxiMoved(const TaxiState& taxi, Seconds now) {
   // with taxis that are no longer anywhere near. Reindex on crossing
   // (memberships.front() is the current-partition entry by construction);
   // moves within a partition keep the cheap early return.
-  auto it = taxi_partitions_.find(taxi.id);
-  if (it == taxi_partitions_.end() || it->second.empty() ||
-      it->second.front().partition != partitioning_.PartitionOf(taxi.location)) {
+  if (static_cast<size_t>(taxi.id) >= taxi_partitions_.size() ||
+      taxi_partitions_[taxi.id].empty() ||
+      taxi_partitions_[taxi.id].front().partition !=
+          partitioning_.PartitionOf(taxi.location)) {
     ReindexTaxi(taxi, now);
   }
 }
@@ -116,8 +120,8 @@ void MtShareTaxiIndex::OnTaxiAdvanced(const TaxiState& taxi, size_t from_pos,
     // The per-arc sweep reindexes an idle taxi at every step, but each
     // reindex rebuilds the partition entries wholesale and the clustering
     // Remove is idempotent — only the final one survives.
-    Seconds now = to_pos < taxi.route_times.size() ? taxi.route_times[to_pos]
-                                                   : taxi.location_time;
+    Seconds now = to_pos < taxi.route.size() ? taxi.route.time(to_pos)
+                                             : taxi.location_time;
     ReindexTaxiAt(taxi, to_pos, now);
     return;
   }
@@ -126,11 +130,11 @@ void MtShareTaxiIndex::OnTaxiAdvanced(const TaxiState& taxi, size_t from_pos,
   // the T_mp horizon both depend on where the crossing happened, so
   // collapsing to one batch-end reindex would record different arrivals.
   for (size_t pos = from_pos + 1; pos <= to_pos; ++pos) {
-    auto it = taxi_partitions_.find(taxi.id);
-    if (it == taxi_partitions_.end() || it->second.empty() ||
-        it->second.front().partition !=
-            partitioning_.PartitionOf(taxi.route[pos])) {
-      ReindexTaxiAt(taxi, pos, taxi.route_times[pos]);
+    if (static_cast<size_t>(taxi.id) >= taxi_partitions_.size() ||
+        taxi_partitions_[taxi.id].empty() ||
+        taxi_partitions_[taxi.id].front().partition !=
+            partitioning_.PartitionOf(taxi.route.vertex(pos))) {
+      ReindexTaxiAt(taxi, pos, taxi.route.time(pos));
     }
   }
 }
@@ -151,22 +155,32 @@ ClusterId MtShareTaxiIndex::FindCluster(const MobilityVector& probe) const {
 
 std::vector<TaxiId> MtShareTaxiIndex::ClusterTaxis(ClusterId cluster) const {
   std::vector<TaxiId> taxis;
-  if (cluster == kInvalidCluster) return taxis;
-  for (int64_t key : clustering_.Members(cluster)) {
-    if (key >= 0) taxis.push_back(static_cast<TaxiId>(key));
-  }
+  AppendClusterTaxis(cluster, &taxis);
   return taxis;
 }
 
 std::vector<TaxiId> MtShareTaxiIndex::CompatibleClusterTaxis(
     const MobilityVector& probe) const {
   std::vector<TaxiId> taxis;
+  AppendCompatibleClusterTaxis(probe, &taxis);
+  return taxis;
+}
+
+void MtShareTaxiIndex::AppendClusterTaxis(ClusterId cluster,
+                                          std::vector<TaxiId>* out) const {
+  if (cluster == kInvalidCluster) return;
+  for (int64_t key : clustering_.Members(cluster)) {
+    if (key >= 0) out->push_back(static_cast<TaxiId>(key));
+  }
+}
+
+void MtShareTaxiIndex::AppendCompatibleClusterTaxis(
+    const MobilityVector& probe, std::vector<TaxiId>* out) const {
   for (ClusterId c : clustering_.FindCompatibleClusters(probe)) {
     for (int64_t key : clustering_.Members(c)) {
-      if (key >= 0) taxis.push_back(static_cast<TaxiId>(key));
+      if (key >= 0) out->push_back(static_cast<TaxiId>(key));
     }
   }
-  return taxis;
 }
 
 size_t MtShareTaxiIndex::MemoryBytes() const {
@@ -174,8 +188,11 @@ size_t MtShareTaxiIndex::MemoryBytes() const {
   for (const auto& m : partition_taxis_) {
     bytes += m.size() * sizeof(Arrival);
   }
-  for (const auto& [id, memberships] : taxi_partitions_) {
-    (void)id;
+  // Count non-empty slots the way the previous node-based map accounting
+  // did (payload + per-entry overhead), so reported index memory stays
+  // comparable across the storage change.
+  for (const auto& memberships : taxi_partitions_) {
+    if (memberships.empty()) continue;
     bytes += memberships.size() * sizeof(Membership) + 24;
   }
   return bytes;

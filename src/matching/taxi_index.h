@@ -2,7 +2,6 @@
 #define MTSHARE_MATCHING_TAXI_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "matching/taxi_state.h"
@@ -84,6 +83,13 @@ class MtShareTaxiIndex {
   /// against the probe (union of direction-compatible clusters).
   std::vector<TaxiId> CompatibleClusterTaxis(const MobilityVector& probe) const;
 
+  /// Allocation-free variants for hot dispatch paths: append into a
+  /// caller-owned buffer (same order as the by-value forms) instead of
+  /// materializing a fresh vector per request.
+  void AppendClusterTaxis(ClusterId cluster, std::vector<TaxiId>* out) const;
+  void AppendCompatibleClusterTaxis(const MobilityVector& probe,
+                                    std::vector<TaxiId>* out) const;
+
   const MobilityClustering& clustering() const { return clustering_; }
 
   size_t MemoryBytes() const;
@@ -113,8 +119,11 @@ class MtShareTaxiIndex {
 
   std::vector<std::vector<Arrival>> partition_taxis_;
   /// Memberships of each indexed taxi, in insertion order (the current
-  /// partition first, then route partitions by first arrival).
-  std::unordered_map<TaxiId, std::vector<Membership>> taxi_partitions_;
+  /// partition first, then route partitions by first arrival). Dense by
+  /// taxi id, grown on demand; an empty inner vector means "not indexed".
+  /// Reindexing clears and refills the taxi's slot in place, so the
+  /// steady-state reindex churn of a large fleet allocates nothing.
+  std::vector<std::vector<Membership>> taxi_partitions_;
   MobilityClustering clustering_;
 };
 

@@ -11,6 +11,48 @@
 
 namespace mtshare {
 
+/// One materialized route node: the vertex, its planned arrival time, and
+/// the cached length in meters of the arc to the *next* node (0 on the
+/// last node). Interleaving the per-node fields keeps the event engine's
+/// heap-pop -> advance loop on one cache line per step instead of touching
+/// three parallel arrays.
+struct RouteNode {
+  VertexId vertex = kInvalidVertex;
+  Seconds time = 0.0;
+  double arc_length_m = 0.0;
+};
+
+/// A taxi's materialized route R_tj. Storage is a single node vector whose
+/// capacity survives Reset(), so a taxi replanned thousands of times over a
+/// run settles into one stable arena-like allocation instead of churning
+/// three vectors per plan.
+class TaxiRoute {
+ public:
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  VertexId vertex(size_t i) const { return nodes_[i].vertex; }
+  Seconds time(size_t i) const { return nodes_[i].time; }
+  /// Meters of arc vertex(i) -> vertex(i+1), cached at plan time so
+  /// stepping a taxi needs no adjacency lookups.
+  double arc_length_m(size_t i) const { return nodes_[i].arc_length_m; }
+  Seconds back_time() const { return nodes_.back().time; }
+
+  /// Starts a fresh route at `start`, departing at `t`; retains capacity.
+  void Reset(VertexId start, Seconds t) {
+    nodes_.clear();
+    nodes_.push_back(RouteNode{start, t, 0.0});
+  }
+  /// Extends the route across an arc of `arc_m` meters to `vertex`,
+  /// arriving at `t`.
+  void Append(double arc_m, VertexId vertex, Seconds t) {
+    nodes_.back().arc_length_m = arc_m;
+    nodes_.push_back(RouteNode{vertex, t, 0.0});
+  }
+
+ private:
+  std::vector<RouteNode> nodes_;
+};
+
 /// Runtime status of one shared taxi (paper Def. 3): current location, the
 /// pending schedule S_tj and its materialized route R_tj, plus bookkeeping
 /// the simulation and payment model need.
@@ -32,12 +74,8 @@ struct TaxiState {
   std::vector<Seconds> event_arrivals;
   size_t event_pos = 0;
 
-  /// Remaining route: route[route_pos] == location; empty when idle.
-  std::vector<VertexId> route;
-  std::vector<Seconds> route_times;  ///< arrival time per route vertex
-  /// Meters of arc route[i] -> route[i+1], cached when the plan is applied
-  /// so stepping a taxi needs no adjacency lookups (size route.size() - 1).
-  std::vector<double> route_lengths;
+  /// Remaining route: route.vertex(route_pos) == location; empty when idle.
+  TaxiRoute route;
   size_t route_pos = 0;
 
   /// True when this taxi currently drives probabilistic-routing legs.

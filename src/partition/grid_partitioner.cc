@@ -9,12 +9,17 @@ namespace mtshare {
 std::vector<PartitionId> MapPartitioning::PartitionsIntersectingCircle(
     const Point& center, double radius) const {
   std::vector<PartitionId> out;
+  AppendPartitionsIntersectingCircle(center, radius, &out);
+  return out;
+}
+
+void MapPartitioning::AppendPartitionsIntersectingCircle(
+    const Point& center, double radius, std::vector<PartitionId>* out) const {
   for (PartitionId p = 0; p < num_partitions(); ++p) {
     if (Distance(center, centroids[p]) <= radius + radius_m[p]) {
-      out.push_back(p);
+      out->push_back(p);
     }
   }
-  return out;
 }
 
 size_t MapPartitioning::MemoryBytes() const {

@@ -36,6 +36,10 @@ struct MapPartitioning {
   /// map-partition set S_ri of candidate search (paper eq. (3) context).
   std::vector<PartitionId> PartitionsIntersectingCircle(const Point& center,
                                                         double radius) const;
+  /// Same set appended into a caller-owned buffer (hot dispatch paths
+  /// clear + reuse one buffer per thread instead of allocating per query).
+  void AppendPartitionsIntersectingCircle(const Point& center, double radius,
+                                          std::vector<PartitionId>* out) const;
 
   size_t MemoryBytes() const;
 };

@@ -61,11 +61,22 @@ DistanceOracle::DistanceOracle(const RoadNetwork& network,
       }
       fill_mutex_ = std::make_unique<std::mutex[]>(kFillStripes);
       break;
-    case OracleBackend::kLru:
+    case OracleBackend::kLru: {
+      const int32_t shards = std::max<int32_t>(1, options.lru_shards);
+      int64_t rows = options.lru_rows;
+      if (options.lru_max_bytes > 0) {
+        const int64_t row_bytes =
+            static_cast<int64_t>(network.num_vertices()) * sizeof(Seconds);
+        rows = std::min<int64_t>(
+            rows, std::max<int64_t>(shards,
+                                    options.lru_max_bytes /
+                                        std::max<int64_t>(1, row_bytes)));
+      }
       cache_ =
           std::make_unique<ShardedLruCache<VertexId, std::vector<Seconds>>>(
-              options.lru_rows, std::max<int32_t>(1, options.lru_shards));
+              static_cast<int32_t>(rows), shards);
       break;
+    }
     case OracleBackend::kCh:
       ch_ = std::make_unique<ContractionHierarchy>(
           ContractionHierarchy::Build(network, options.ch));

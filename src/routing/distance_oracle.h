@@ -46,6 +46,15 @@ struct OracleOptions {
   /// Number of one-to-all rows retained in LRU mode.
   int32_t lru_rows = 4096;
 
+  /// Byte budget for the LRU row store (0 = uncapped). A row costs
+  /// num_vertices * sizeof(Seconds): on the 4900-vertex CI grids the
+  /// default 4096 rows fit comfortably, but on metropolitan graphs
+  /// (100k+ vertices, ~800 KB/row) the same row count would silently pin
+  /// multiple GB. The constructor clamps the retained row count to this
+  /// budget (never below one row per shard), so the row knob stays tuned
+  /// for small maps without making large maps pay for it.
+  int64_t lru_max_bytes = 256ll << 20;
+
   /// Mutex stripes of the LRU row cache (concurrent queries only contend
   /// when their source vertices hash to the same shard).
   int32_t lru_shards = 16;

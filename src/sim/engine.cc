@@ -266,7 +266,7 @@ void SimulationEngine::Advance(Seconds now) {
 void SimulationEngine::SyncTaxi(TaxiId id, Seconds now) {
   if (id == advancing_) return;  // re-entrant: already mid-advance
   TaxiState& taxi = (*fleet_)[id];
-  if (!taxi.HasRoute() || taxi.route_times[taxi.route_pos + 1] > now) {
+  if (!taxi.HasRoute() || taxi.route.time(taxi.route_pos + 1) > now) {
     return;  // nothing due: the stored state is already current
   }
   ++metrics_.engine.lazy_syncs;
@@ -343,27 +343,22 @@ void SimulationEngine::AdvanceTo(Seconds now) {
 }
 
 void SimulationEngine::StepArc(TaxiState& taxi) {
-  // Arc lengths were cached when the plan was applied; fall back to the
-  // adjacency scan for routes installed by older call paths (tests).
-  double meters =
-      taxi.route_lengths.size() + 1 == taxi.route.size()
-          ? taxi.route_lengths[taxi.route_pos]
-          : ArcLengthMeters(network_, taxi.route[taxi.route_pos],
-                            taxi.route[taxi.route_pos + 1]);
+  // Arc lengths were cached on the route node when the plan was applied.
+  double meters = taxi.route.arc_length_m(taxi.route_pos);
   taxi.driven_meters += meters;
   if (taxi.onboard > 0) {
     taxi.occupied_meters += meters;
     taxi.episode_meters += meters;
   }
   ++taxi.route_pos;
-  taxi.location = taxi.route[taxi.route_pos];
-  taxi.location_time = taxi.route_times[taxi.route_pos];
+  taxi.location = taxi.route.vertex(taxi.route_pos);
+  taxi.location_time = taxi.route.time(taxi.route_pos);
   ++metrics_.engine.arcs_stepped;
 }
 
 void SimulationEngine::AdvanceTaxi(TaxiState& taxi, Seconds now) {
   while (taxi.route_pos + 1 < taxi.route.size() &&
-         taxi.route_times[taxi.route_pos + 1] <= now) {
+         taxi.route.time(taxi.route_pos + 1) <= now) {
     StepArc(taxi);
     bool had_events = !taxi.schedule.empty();
     ExecuteDueEvents(taxi);
@@ -386,7 +381,7 @@ void SimulationEngine::AdvanceTaxiEvent(TaxiState& taxi, Seconds now) {
   // indexes).
   size_t batch_start = taxi.route_pos;
   while (taxi.route_pos + 1 < taxi.route.size() &&
-         taxi.route_times[taxi.route_pos + 1] <= now) {
+         taxi.route.time(taxi.route_pos + 1) <= now) {
     StepArc(taxi);
     bool event_due = false;
     if (!taxi.schedule.empty()) {
@@ -431,7 +426,7 @@ void SimulationEngine::AdvanceTaxiEvent(TaxiState& taxi, Seconds now) {
 void SimulationEngine::RearmTaxi(const TaxiState& taxi) {
   ++taxi_gen_[taxi.id];
   if (taxi.HasRoute()) {
-    heap_.push(PendingArc{taxi.route_times[taxi.route_pos + 1], taxi.id,
+    heap_.push(PendingArc{taxi.route.time(taxi.route_pos + 1), taxi.id,
                           taxi_gen_[taxi.id]});
   }
 }
@@ -445,8 +440,8 @@ void SimulationEngine::UpdateIdleSet(const TaxiState& taxi) {
 }
 
 void SimulationEngine::NoteCommit(const TaxiState& taxi) {
-  if (!taxi.route_times.empty()) {
-    commit_horizon_ = std::max(commit_horizon_, taxi.route_times.back());
+  if (!taxi.route.empty()) {
+    commit_horizon_ = std::max(commit_horizon_, taxi.route.back_time());
   }
 }
 

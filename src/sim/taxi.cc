@@ -23,31 +23,17 @@ const Arc* FindCheapestArc(const RoadNetwork& network, VertexId u,
 std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
                                        const std::vector<VertexId>& path,
                                        Seconds start_time) {
-  return ComputeRouteProfile(network, path, start_time).times;
-}
-
-RouteProfile ComputeRouteProfile(const RoadNetwork& network,
-                                 const std::vector<VertexId>& path,
-                                 Seconds start_time) {
-  RouteProfile profile;
-  profile.times.reserve(path.size());
-  if (!path.empty()) profile.lengths.reserve(path.size() - 1);
+  std::vector<Seconds> times;
+  times.reserve(path.size());
   Seconds t = start_time;
-  profile.times.push_back(t);
+  times.push_back(t);
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     const Arc* arc = FindCheapestArc(network, path[i], path[i + 1]);
     MTSHARE_CHECK(arc != nullptr);
     t += arc->cost;
-    profile.times.push_back(t);
-    profile.lengths.push_back(arc->length_m);
+    times.push_back(t);
   }
-  return profile;
-}
-
-double ArcLengthMeters(const RoadNetwork& network, VertexId u, VertexId v) {
-  const Arc* arc = FindCheapestArc(network, u, v);
-  MTSHARE_CHECK(arc != nullptr);
-  return arc->length_m;
+  return times;
 }
 
 void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
@@ -60,10 +46,17 @@ void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
   taxi->schedule = std::move(schedule);
   taxi->event_arrivals = std::move(event_arrivals);
   taxi->event_pos = 0;
-  taxi->route = path;
-  RouteProfile profile = ComputeRouteProfile(network, path, now);
-  taxi->route_times = std::move(profile.times);
-  taxi->route_lengths = std::move(profile.lengths);
+  // Fill the route nodes directly in one adjacency pass; TaxiRoute::Reset
+  // retains the previous plan's capacity, so steady-state replanning is
+  // allocation-free.
+  taxi->route.Reset(path.front(), now);
+  Seconds t = now;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Arc* arc = FindCheapestArc(network, path[i], path[i + 1]);
+    MTSHARE_CHECK(arc != nullptr);
+    t += arc->cost;
+    taxi->route.Append(arc->length_m, path[i + 1], t);
+  }
   taxi->route_pos = 0;
   taxi->location_time = now;
   taxi->probabilistic_route = probabilistic_route;

@@ -14,26 +14,12 @@ std::vector<Seconds> ComputeRouteTimes(const RoadNetwork& network,
                                        const std::vector<VertexId>& path,
                                        Seconds start_time);
 
-/// Arrival times plus per-arc lengths of a path, resolved in one adjacency
-/// pass (`times.size() == path.size()`, `lengths.size() == path.size()-1`).
-struct RouteProfile {
-  std::vector<Seconds> times;
-  std::vector<double> lengths;
-};
-RouteProfile ComputeRouteProfile(const RoadNetwork& network,
-                                 const std::vector<VertexId>& path,
-                                 Seconds start_time);
-
 /// Applies a dispatch plan to a taxi: replaces schedule, route, and event
 /// arrival times; the taxi departs its current location at `now`.
 void ApplyPlan(TaxiState* taxi, const RoadNetwork& network, Schedule schedule,
                const std::vector<VertexId>& path,
                std::vector<Seconds> event_arrivals, Seconds now,
                bool probabilistic_route);
-
-/// Length in meters of the cheapest arc from u to v (helper for odometer
-/// accounting). Dies if absent.
-double ArcLengthMeters(const RoadNetwork& network, VertexId u, VertexId v);
 
 }  // namespace mtshare
 

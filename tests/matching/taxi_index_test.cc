@@ -81,7 +81,7 @@ TEST_F(TaxiIndexTest, BusyTaxiIndexedAlongRouteWithinHorizon) {
 
   // Every partition the route crosses within T_mp lists the taxi.
   for (size_t i = 0; i < path.vertices.size(); ++i) {
-    if (t.route_times[i] > 3600.0) break;
+    if (t.route.time(i) > 3600.0) break;
     EXPECT_TRUE(InPartitionList(partitioning_.PartitionOf(path.vertices[i]),
                                 1))
         << "vertex " << path.vertices[i];
@@ -196,7 +196,7 @@ TEST_F(TaxiIndexTest, BusyTaxiCrossingPartitionDropsStaleEntry) {
 
   // Advance the taxi to the crossing vertex, as the engine would.
   t.location = path.vertices[cross];
-  t.location_time = t.route_times[cross];
+  t.location_time = t.route.time(cross);
   t.route_pos = cross;
   index_->OnTaxiMoved(t, t.location_time);
 
@@ -230,7 +230,7 @@ TEST_F(TaxiIndexTest, BusyTaxiMoveWithinPartitionKeepsEntryUntouched) {
   if (inside == 0) GTEST_SKIP() << "route leaves immediately";
 
   t.location = path.vertices[inside];
-  t.location_time = t.route_times[inside];
+  t.location_time = t.route.time(inside);
   t.route_pos = inside;
   index_->OnTaxiMoved(t, t.location_time);
 

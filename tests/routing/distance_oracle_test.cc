@@ -75,6 +75,35 @@ TEST(DistanceOracleTest, LruEvictionStillCorrect) {
   EXPECT_GT(oracle.row_misses(), 4);  // evictions forced recomputation
 }
 
+TEST(DistanceOracleTest, LruByteCapClampsRetainedRows) {
+  // lru_rows was tuned on ~4.9k-vertex maps; on a 100k-vertex city the
+  // same row count is gigabytes. lru_max_bytes clamps the retained rows
+  // at construction: with a 1 KiB budget on 512-byte rows only 2 rows
+  // survive, so cycling 4 sources must evict (uncapped: all 4 fit).
+  GridCityOptions gopt;
+  gopt.rows = 8;
+  gopt.cols = 8;
+  RoadNetwork net = MakeGridCity(gopt);
+  OracleOptions capped;
+  capped.backend = OracleBackend::kLru;
+  capped.lru_rows = 64;
+  capped.lru_shards = 1;
+  capped.lru_max_bytes = net.num_vertices() * sizeof(Seconds) * 2;
+  OracleOptions uncapped = capped;
+  uncapped.lru_max_bytes = 0;
+  DistanceOracle capped_oracle(net, capped);
+  DistanceOracle uncapped_oracle(net, uncapped);
+  DijkstraSearch dijkstra(net);
+  for (int round = 0; round < 3; ++round) {
+    for (VertexId s = 0; s < 4; ++s) {
+      EXPECT_DOUBLE_EQ(capped_oracle.Cost(s, 20), dijkstra.Cost(s, 20));
+      EXPECT_DOUBLE_EQ(uncapped_oracle.Cost(s, 20), dijkstra.Cost(s, 20));
+    }
+  }
+  EXPECT_GT(capped_oracle.row_misses(), 4);  // cap forced evictions
+  EXPECT_EQ(uncapped_oracle.row_misses(), 4);  // all four rows retained
+}
+
 TEST(DistanceOracleTest, SelfCostIsZeroWithoutRowFetch) {
   GridCityOptions gopt;
   gopt.rows = 6;

@@ -1,0 +1,171 @@
+// Scale-tier tests (ctest label `scale`, excluded from the default
+// preset): the properties bench_scale leans on, exercised at sizes the
+// tier-1 suite cannot afford. Run them with `ctest --preset scale` or the
+// MTSHARE_RUN_SCALE=1 leg of run_checks.sh.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/mtshare_system.h"
+#include "demand/demand_model.h"
+#include "demand/request_generator.h"
+#include "graph/graph_generators.h"
+#include "routing/distance_oracle.h"
+#include "sim/request_source.h"
+
+namespace mtshare {
+namespace {
+
+RoadNetwork SmallCity(uint64_t seed) {
+  GridCityOptions opt;
+  opt.rows = 24;
+  opt.cols = 24;
+  opt.seed = seed;
+  return MakeGridCity(opt);
+}
+
+// MTSHARE_SCALE_CI=1 (the run_checks.sh [6/6] smoke and the bench_scale
+// CI rows) shrinks the workloads ~10x so the leg finishes in CI time; the
+// nightly `ctest --preset scale` runs the full sizes.
+bool ScaleCi() {
+  const char* env = std::getenv("MTSHARE_SCALE_CI");
+  return env != nullptr && env[0] == '1';
+}
+
+// bench_scale replays the same GeneratorRequestSource stream before and
+// after a layout change and compares wall clocks; that A/B is only valid
+// if two sources built from identical inputs emit bit-identical requests.
+// Pull 1M requests from two independently constructed sources in lockstep
+// (nothing is stored — the point of the source is that the stream never
+// exists in memory) and hold the source contract: release times sorted,
+// ids dense from 0, every request self-consistent.
+TEST(GeneratorRequestSourceScaleTest, DeterministicAndMonotoneAtOneMillion) {
+  const int32_t kRequests = ScaleCi() ? 100000 : 1000000;
+  RoadNetwork net = SmallCity(101);
+  DemandModelOptions dopt;
+  dopt.seed = 102;
+  DemandModel demand(net, dopt);
+  DistanceOracle oracle(net);
+
+  ScenarioOptions sopt;
+  sopt.t_begin = 7 * 3600.0;
+  sopt.t_end = 20 * 3600.0;
+  sopt.num_requests = kRequests;
+  sopt.seed = 103;
+  GeneratorRequestSource a(demand, oracle, sopt);
+  GeneratorRequestSource b(demand, oracle, sopt);
+
+  RideRequest ra;
+  RideRequest rb;
+  Seconds last_release = sopt.t_begin;
+  RequestId next_id = 0;
+  while (a.Next(&ra)) {
+    ASSERT_TRUE(b.Next(&rb)) << "stream b exhausted at id " << ra.id;
+    // Bit-identical twin streams, field by field (EQ, not NEAR: the A/B
+    // harness depends on exact replay).
+    ASSERT_EQ(ra.id, rb.id);
+    ASSERT_EQ(ra.origin, rb.origin);
+    ASSERT_EQ(ra.destination, rb.destination);
+    ASSERT_EQ(ra.release_time, rb.release_time);
+    ASSERT_EQ(ra.direct_cost, rb.direct_cost);
+    ASSERT_EQ(ra.deadline, rb.deadline);
+    ASSERT_EQ(ra.passengers, rb.passengers);
+    ASSERT_EQ(ra.offline, rb.offline);
+    // Source contract.
+    ASSERT_EQ(ra.id, next_id);
+    ASSERT_GE(ra.release_time, last_release);
+    ASSERT_LT(ra.release_time, sopt.t_end);
+    ASSERT_GE(ra.origin, 0);
+    ASSERT_LT(ra.origin, net.num_vertices());
+    ASSERT_GE(ra.destination, 0);
+    ASSERT_LT(ra.destination, net.num_vertices());
+    ASSERT_NE(ra.origin, ra.destination);
+    ASSERT_GT(ra.direct_cost, 0.0);
+    ASSERT_GT(ra.deadline, ra.release_time);
+    last_release = ra.release_time;
+    ++next_id;
+  }
+  EXPECT_TRUE(a.status().ok()) << a.status();
+  EXPECT_FALSE(b.Next(&rb)) << "stream b longer than stream a";
+  EXPECT_TRUE(b.status().ok()) << b.status();
+  EXPECT_EQ(next_id, kRequests);
+}
+
+Metrics RunLargeFleet(bool event_driven) {
+  RoadNetwork net = SmallCity(211);
+  DemandModelOptions dopt;
+  dopt.seed = 212;
+  DemandModel demand(net, dopt);
+  DistanceOracle oracle(net);
+  ScenarioOptions sopt;
+  sopt.num_requests = ScaleCi() ? 1000 : 4000;
+  sopt.num_historical_trips = 8000;
+  sopt.offline_fraction = 0.1;
+  sopt.seed = 213;
+  Scenario scenario = MakeScenario(net, demand, oracle, sopt);
+
+  SystemConfig config;
+  config.seed = 214;
+  // Fresh system per run so dispatcher, indexes, and oracle caches start
+  // cold and the counter comparison sees identical initial state.
+  MTShareSystem system(net, scenario.HistoricalOdPairs(), config);
+
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = 10000;
+  spec.fleet_seed = 215;
+  spec.event_driven = event_driven;
+  Result<Metrics> run = system.RunScenario(spec);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return std::move(run).value();
+}
+
+// The tier-1 equivalence suite pins sweep == event at fleet=24; bench_scale
+// runs fleets of 10^4, where the event core's lazy materialization skips
+// the overwhelming majority of taxis at every boundary. Exercise that
+// regime once: a 10k-taxi fleet (mostly idle — that is the point) must
+// still make bit-identical decisions under both advancement cores.
+TEST(ScaleEngineEquivalenceTest, TenThousandTaxiFleetMatchesSweep) {
+  Metrics sweep = RunLargeFleet(/*event_driven=*/false);
+  Metrics event = RunLargeFleet(/*event_driven=*/true);
+  EXPECT_FALSE(sweep.engine.event_driven);
+  EXPECT_TRUE(event.engine.event_driven);
+
+  EXPECT_EQ(sweep.TotalRequests(), event.TotalRequests());
+  EXPECT_EQ(sweep.ServedRequests(), event.ServedRequests());
+  EXPECT_EQ(sweep.ServedOnline(), event.ServedOnline());
+  EXPECT_EQ(sweep.ServedOffline(), event.ServedOffline());
+  EXPECT_DOUBLE_EQ(sweep.total_driver_income, event.total_driver_income);
+  EXPECT_EQ(sweep.index_memory_bytes, event.index_memory_bytes);
+  EXPECT_EQ(sweep.oracle_queries, event.oracle_queries);
+  EXPECT_EQ(sweep.oracle_row_hits, event.oracle_row_hits);
+  EXPECT_EQ(sweep.oracle_row_misses, event.oracle_row_misses);
+  EXPECT_EQ(sweep.engine.arcs_stepped, event.engine.arcs_stepped);
+  ASSERT_EQ(sweep.records().size(), event.records().size());
+  for (size_t i = 0; i < sweep.records().size(); ++i) {
+    const RequestRecord& rs = sweep.records()[i];
+    const RequestRecord& re = event.records()[i];
+    SCOPED_TRACE("request " + std::to_string(i));
+    ASSERT_EQ(rs.assigned, re.assigned);
+    ASSERT_EQ(rs.completed, re.completed);
+    ASSERT_EQ(rs.taxi, re.taxi);
+    ASSERT_EQ(rs.candidates, re.candidates);
+    ASSERT_DOUBLE_EQ(rs.pickup_time, re.pickup_time);
+    ASSERT_DOUBLE_EQ(rs.dropoff_time, re.dropoff_time);
+    ASSERT_DOUBLE_EQ(rs.regular_fare, re.regular_fare);
+    ASSERT_DOUBLE_EQ(rs.shared_fare, re.shared_fare);
+  }
+  // At a 10k fleet with 4k requests, almost every taxi is idle at every
+  // boundary; the event core must be doing strictly heap-driven work.
+  if (event.engine.arcs_stepped > 0) {
+    EXPECT_GT(event.engine.heap_pops, 0);
+  }
+  EXPECT_EQ(sweep.engine.heap_pops, 0);
+}
+
+}  // namespace
+}  // namespace mtshare

@@ -210,7 +210,7 @@ TEST(ApplyPlanTest, InstallsScheduleAndRoute) {
   EXPECT_EQ(taxi.schedule.size(), 2u);
   EXPECT_EQ(taxi.route.size(), 4u);
   EXPECT_EQ(taxi.route_pos, 0u);
-  EXPECT_DOUBLE_EQ(taxi.route_times[3], 30.0);
+  EXPECT_DOUBLE_EQ(taxi.route.time(3), 30.0);
   EXPECT_TRUE(taxi.HasRoute());
 }
 

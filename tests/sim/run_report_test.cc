@@ -296,15 +296,26 @@ TEST(MtshareSimCliTest, ReportFlagEmitsValidJson) {
 }
 
 TEST(MtshareSimCliTest, RejectsMalformedNumericFlags) {
-  // Regression: "--taxis=abc" used to atoi to 0 and run an empty fleet.
+  // Regression: "--taxis=abc" used to atoi to 0 and run an empty fleet,
+  // and "--seed=-1" / "--seed=abc" went through a double parse that
+  // silently fell back to the default seed.
   for (const char* flag : {"--taxis=abc", "--requests=12x", "--rho=",
-                           "--threads=-2", "--seed=4 2",
+                           "--threads=-2", "--seed=4 2", "--seed=-1",
+                           "--seed=abc", "--seed=4.5",
                            "--batch-window-ms=abc", "--batch-window-ms=-5",
                            "--max-queue=x"}) {
     std::string cmd = std::string(MTSHARE_SIM_BINARY) + " \"" +
                       std::string(flag) + "\" > /dev/null 2>&1";
     EXPECT_EQ(RunCommand(cmd), 2) << flag;
   }
+}
+
+TEST(MtshareSimCliTest, AcceptsFullUint64SeedRange) {
+  // UINT64_MAX is a legal seed; the old double path rounded it.
+  std::string cmd = std::string(MTSHARE_SIM_BINARY) +
+                    " --rows=8 --cols=8 --taxis=5 --requests=20"
+                    " --seed=18446744073709551615 > /dev/null 2>&1";
+  EXPECT_EQ(RunCommand(cmd), 0);
 }
 
 #endif  // MTSHARE_SIM_BINARY

@@ -128,15 +128,48 @@ TEST_F(ServeCliTest, BatchWindowReportsBatches) {
 
 TEST_F(ServeCliTest, RejectsMalformedFlags) {
   // Regression: garbage numerics must exit 2, never atoi to a zero fleet.
+  // --seed went through GetD (a double parse) for a while, so "-1" and
+  // "abc" silently became seed 42; it must reject like every other flag.
   for (const char* flag :
        {"--taxis=abc", "--batch-window-ms=nope", "--batch-window-ms=-3",
         "--max-queue=-1", "--gauge-every=x", "--scheme=uber-pool",
-        "--oracle=magic", "--engine=warp"}) {
+        "--oracle=magic", "--engine=warp", "--seed=-1", "--seed=abc",
+        "--seed=4.5"}) {
     std::string cmd = std::string(MTSHARE_SERVE_BINARY) + " \"" +
                       std::string(flag) +
                       "\" < /dev/null > /dev/null 2>&1";
     EXPECT_EQ(RunCommand(cmd), 2) << flag;
   }
+}
+
+TEST_F(ServeCliTest, AcceptsFullUint64SeedRange) {
+  // The whole uint64 range is a valid seed — UINT64_MAX used to lose
+  // precision through the double path (2^64-1 is not representable).
+  std::string serve = std::string(MTSHARE_SERVE_BINARY) + kCityFlags +
+                      " --seed=18446744073709551615 --gauge-every=0"
+                      " < /dev/null > /dev/null 2>&1";
+  EXPECT_EQ(RunCommand(serve), 0) << serve;
+}
+
+TEST_F(ServeCliTest, ShortWriteOnDecisionStreamExitsOne) {
+  // The decision stream is the service's product; losing it silently (full
+  // disk, closed pipe) must surface as exit 1 with a diagnostic, exactly
+  // as --help documents. /dev/full fails every write with ENOSPC.
+  std::ifstream dev_full("/dev/full");
+  if (!dev_full.good()) GTEST_SKIP() << "/dev/full unavailable";
+
+  std::string log = Tmp("short_write_log.csv");
+  std::string err = Tmp("short_write_err.txt");
+  std::string gen = std::string(MTSHARE_SIM_BINARY) + kCityFlags +
+                    " --requests=40 --save-requests=" + log + " > /dev/null";
+  ASSERT_EQ(RunCommand(gen), 0) << gen;
+  std::string serve = std::string(MTSHARE_SERVE_BINARY) + kCityFlags +
+                      " --gauge-every=0 < " + log + " > /dev/full 2> " + err;
+  EXPECT_EQ(RunCommand(serve), 1) << serve;
+  std::string message = ReadFile(err);
+  EXPECT_NE(message.find("short write"), std::string::npos) << message;
+  std::remove(log.c_str());
+  std::remove(err.c_str());
 }
 
 TEST_F(ServeCliTest, MalformedLogLineFailsWithLineTaggedError) {

@@ -47,6 +47,7 @@
 // Exit codes: 0 success, 1 runtime failure (bad network file, malformed
 // request line, short write), 2 flag/usage errors.
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -127,9 +128,34 @@ std::string GetS(const std::map<std::string, std::string>& args,
   return it == args.end() ? fallback : it->second;
 }
 
+/// Strict unsigned 64-bit flag (RNG seeds). A double-based parse would
+/// silently round seeds above 2^53 and make negative inputs UB on the
+/// cast; ParseUint64 keeps full precision up to UINT64_MAX and rejects
+/// signs and garbage outright.
+uint64_t GetU64(const std::map<std::string, std::string>& args,
+                const std::string& key, uint64_t fallback, bool* ok) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  uint64_t value = 0;
+  if (!ParseUint64(Trim(it->second), &value)) {
+    std::fprintf(stderr,
+                 "invalid value for --%s: '%s' (want an unsigned integer)\n",
+                 key.c_str(), it->second.c_str());
+    *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // A reader hanging up mid-stream must surface as a short write (exit 1
+  // with a diagnostic), not kill the process with the default SIGPIPE
+  // disposition before the write failure can be reported.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   bool ok = true;
   auto args = ParseArgs(argc, argv, &ok);
   if (!ok || args.count("help")) {
@@ -145,7 +171,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool peak = GetS(args, "window", "peak") == "peak";
-  const uint64_t seed = uint64_t(GetD(args, "seed", 42, &ok));
+  const uint64_t seed = GetU64(args, "seed", 42, &ok);
 
   RoadNetwork network;
   std::string network_file = GetS(args, "network", "");
@@ -267,6 +293,11 @@ int main(int argc, char** argv) {
   LatencyHistogram latency = LatencyHistogram::ForLatencyMs();
   int64_t decisions = 0;
   int64_t shed = 0;
+  // The decision stream IS the tool's output: a short write (full disk,
+  // closed pipe) must fail the run, not silently drop decisions. printf
+  // buffers, so failures can surface at any later write or only at the
+  // final fflush — track the first one and re-check ferror at the end.
+  bool write_failed = false;
   const auto t0 = std::chrono::steady_clock::now();
 
   ScenarioSpec spec;
@@ -280,21 +311,23 @@ int main(int argc, char** argv) {
   spec.max_queue = max_queue;
   spec.on_decision = [&](const RideRequest& r, const RequestRecord& rec) {
     ++decisions;
+    int written = 0;
     if (rec.shed) {
       ++shed;
-      std::printf("{\"id\":%lld,\"shed\":true}\n",
-                  static_cast<long long>(r.id));
+      written = std::printf("{\"id\":%lld,\"shed\":true}\n",
+                            static_cast<long long>(r.id));
     } else if (rec.offline) {
-      std::printf("{\"id\":%lld,\"offline\":true,\"taxi\":%d}\n",
-                  static_cast<long long>(r.id), rec.taxi);
+      written = std::printf("{\"id\":%lld,\"offline\":true,\"taxi\":%d}\n",
+                            static_cast<long long>(r.id), rec.taxi);
     } else {
       latency.Record(rec.response_ms);
-      std::printf(
+      written = std::printf(
           "{\"id\":%lld,\"assigned\":%s,\"taxi\":%d,\"response_ms\":%.3f,"
           "\"candidates\":%d}\n",
           static_cast<long long>(r.id), rec.assigned ? "true" : "false",
           rec.taxi, rec.response_ms, rec.candidates);
     }
+    write_failed = write_failed || written < 0;
     if (gauge_every > 0 && decisions % gauge_every == 0) {
       const double elapsed_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -315,7 +348,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   Metrics m = std::move(run).value();
-  std::fflush(stdout);
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) || write_failed) {
+    std::fprintf(stderr,
+                 "serve: short write on the decision stream (disk full or "
+                 "closed pipe?) — decisions were lost\n");
+    return 1;
+  }
 
   std::fprintf(stderr,
                "[serve] done scheme=%s ingested=%lld served=%d "

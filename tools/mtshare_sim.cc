@@ -117,6 +117,25 @@ std::string GetS(const std::map<std::string, std::string>& args,
   return it == args.end() ? fallback : it->second;
 }
 
+/// Strict unsigned 64-bit flag (RNG seeds). A double-based parse would
+/// silently round seeds above 2^53 and make negative inputs UB on the
+/// cast; ParseUint64 keeps full precision up to UINT64_MAX and rejects
+/// signs and garbage outright.
+uint64_t GetU64(const std::map<std::string, std::string>& args,
+                const std::string& key, uint64_t fallback, bool* ok) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  uint64_t value = 0;
+  if (!ParseUint64(Trim(it->second), &value)) {
+    std::fprintf(stderr,
+                 "invalid value for --%s: '%s' (want an unsigned integer)\n",
+                 key.c_str(), it->second.c_str());
+    *ok = false;
+    return fallback;
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,7 +152,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool peak = GetS(args, "window", "peak") == "peak";
-  const uint64_t seed = uint64_t(GetD(args, "seed", 42, &ok));
+  const uint64_t seed = GetU64(args, "seed", 42, &ok);
 
   // City: generated or loaded.
   RoadNetwork network;

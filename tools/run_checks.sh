@@ -10,40 +10,44 @@
 #      schema-4 engine counters, and smoke BM_EngineAdvance
 #   5. serve smoke: pipe a --save-requests log through mtshare_serve and
 #      check the decision stream plus the schema-5 "serve" block
+#   6. (opt-in) scale smoke: the `scale`-labelled ctest tier at reduced
+#      sizes — bench_scale trajectory schema, 10^6-request stream
+#      determinism, 10k-fleet engine equivalence
 #
 # Run from the repo root:  tools/run_checks.sh
 # Also reachable as:       cmake --build build --target check
 # Skip the tsan leg (e.g. on toolchains without libtsan): MTSHARE_SKIP_TSAN=1
 # Skip the asan leg likewise:                             MTSHARE_SKIP_ASAN=1
+# Run the minutes-long scale leg (off by default):        MTSHARE_RUN_SCALE=1
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${MTSHARE_CHECK_JOBS:-$(nproc)}
 
-echo "==> [1/5] default preset: build + tier-1 tests"
+echo "==> [1/6] default preset: build + tier-1 tests"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
 if [[ "${MTSHARE_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "==> [2/5] tsan preset: build + concurrency tests"
+  echo "==> [2/6] tsan preset: build + concurrency tests"
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS" --target mtshare_thread_tests
   ctest --preset tsan -j "$JOBS"
 else
-  echo "==> [2/5] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
+  echo "==> [2/6] tsan preset: skipped (MTSHARE_SKIP_TSAN=1)"
 fi
 
 if [[ "${MTSHARE_SKIP_ASAN:-0}" != "1" ]]; then
-  echo "==> [3/5] asan preset: build + full suite under ASan/LSan"
+  echo "==> [3/6] asan preset: build + full suite under ASan/LSan"
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$JOBS" --target mtshare_tests mtshare_thread_tests mtshare_sim_cli mtshare_serve_cli
   ctest --preset asan -j "$JOBS"
 else
-  echo "==> [3/5] asan preset: skipped (MTSHARE_SKIP_ASAN=1)"
+  echo "==> [3/6] asan preset: skipped (MTSHARE_SKIP_ASAN=1)"
 fi
 
-echo "==> [4/5] run-report smoke"
+echo "==> [4/6] run-report smoke"
 report=$(mktemp /tmp/mtshare_report.XXXXXX.json)
 trap 'rm -f "$report"' EXIT
 build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
@@ -75,7 +79,7 @@ build/bench/bench_micro_components \
   --benchmark_filter='BM_EngineAdvance/fleet:100/' \
   --benchmark_min_time=0.01 >/dev/null
 
-echo "==> [5/5] serve smoke (log pipe + schema-5 serve block)"
+echo "==> [5/6] serve smoke (log pipe + schema-5 serve block)"
 request_log=$(mktemp /tmp/mtshare_requests.XXXXXX.csv)
 decisions=$(mktemp /tmp/mtshare_decisions.XXXXXX.jsonl)
 trap 'rm -f "$report" "$request_log" "$decisions"' EXIT
@@ -94,5 +98,14 @@ if grep -q '"admitted": 0,' "$report"; then
 fi
 grep -q '"id":0' "$decisions"
 echo "serve OK: $(wc -l < "$decisions") decision lines"
+
+if [[ "${MTSHARE_RUN_SCALE:-0}" == "1" ]]; then
+  echo "==> [6/6] scale smoke (reduced sizes; ctest -L scale)"
+  cmake --build --preset default -j "$JOBS" \
+    --target mtshare_scale_tests bench_scale
+  MTSHARE_SCALE_CI=1 ctest --preset scale -j "$JOBS"
+else
+  echo "==> [6/6] scale smoke: skipped (set MTSHARE_RUN_SCALE=1 to run)"
+fi
 
 echo "all checks passed"
