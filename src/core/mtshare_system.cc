@@ -144,38 +144,57 @@ DistanceOracle* MTShareSystem::OracleFor(OracleBackend backend) {
   return slot.get();
 }
 
+const ContractionHierarchy* MTShareSystem::BucketSearchCh(
+    DistanceOracle* oracle) {
+  if (oracle != nullptr && oracle->ch() != nullptr) return oracle->ch();
+  std::lock_guard<std::mutex> lock(extra_oracle_mutex_);
+  if (bucket_ch_ == nullptr) {
+    bucket_ch_ = std::make_unique<ContractionHierarchy>(
+        ContractionHierarchy::Build(network_, config_.oracle.ch));
+  }
+  return bucket_ch_.get();
+}
+
 std::unique_ptr<Dispatcher> MTShareSystem::MakeDispatcher(
     SchemeKind scheme, std::vector<TaxiState>* fleet, DistanceOracle* oracle) {
   if (oracle == nullptr) oracle = oracle_.get();
   MatchingConfig mc = config_.matching;
+  std::unique_ptr<Dispatcher> d;
   switch (scheme) {
     case SchemeKind::kNoSharing:
-      return std::make_unique<NoSharingDispatcher>(network_, oracle, fleet,
-                                                   mc);
+      d = std::make_unique<NoSharingDispatcher>(network_, oracle, fleet, mc);
+      break;
     case SchemeKind::kTShare: {
-      auto d = std::make_unique<TShareDispatcher>(network_, oracle, fleet, mc);
-      d->EnableLowerBoundPruning(landmarks_.get());
-      return d;
+      auto t = std::make_unique<TShareDispatcher>(network_, oracle, fleet, mc);
+      t->EnableLowerBoundPruning(landmarks_.get());
+      d = std::move(t);
+      break;
     }
     case SchemeKind::kPGreedyDp: {
-      auto d = std::make_unique<PGreedyDpDispatcher>(network_, oracle, fleet,
+      auto p = std::make_unique<PGreedyDpDispatcher>(network_, oracle, fleet,
                                                      mc);
-      d->EnableLowerBoundPruning(landmarks_.get());
-      return d;
+      p->EnableLowerBoundPruning(landmarks_.get());
+      d = std::move(p);
+      break;
     }
     case SchemeKind::kMtShare:
       mc.probabilistic = false;
-      return std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
-                                                 partitioning_, *landmarks_,
-                                                 &transitions_);
+      d = std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
+                                              partitioning_, *landmarks_,
+                                              &transitions_);
+      break;
     case SchemeKind::kMtSharePro:
       mc.probabilistic = true;
-      return std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
-                                                 partitioning_, *landmarks_,
-                                                 &transitions_);
+      d = std::make_unique<MtShareDispatcher>(network_, oracle, fleet, mc,
+                                              partitioning_, *landmarks_,
+                                              &transitions_);
+      break;
   }
-  MTSHARE_CHECK(false);
-  return nullptr;
+  MTSHARE_CHECK(d != nullptr);
+  if (mc.candidate_search == CandidateSearch::kChBuckets) {
+    d->EnableChBucketSearch(BucketSearchCh(oracle));
+  }
+  return d;
 }
 
 Result<Metrics> MTShareSystem::RunScenario(const ScenarioSpec& spec) {

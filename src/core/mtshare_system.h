@@ -146,6 +146,13 @@ class MTShareSystem {
   /// concurrent RunScenario invocations.
   DistanceOracle* OracleFor(OracleBackend backend);
 
+  /// The contraction hierarchy backing the ch_buckets candidate path for
+  /// runs on `oracle`: the oracle's own CH when it is CH-backed, otherwise
+  /// a system-owned hierarchy built lazily on first use and shared across
+  /// runs (same lifetime as the lazy per-backend oracles). Safe to call
+  /// from concurrent RunScenario invocations.
+  const ContractionHierarchy* BucketSearchCh(DistanceOracle* oracle);
+
   const RoadNetwork& network() const { return network_; }
   const MapPartitioning& partitioning() const { return partitioning_; }
   const LandmarkGraph& landmarks() const { return *landmarks_; }
@@ -179,6 +186,9 @@ class MTShareSystem {
   /// the mutex so concurrent runs race safely.
   std::mutex extra_oracle_mutex_;
   std::array<std::unique_ptr<DistanceOracle>, 4> extra_oracles_;
+  /// Lazily built CH for ch_buckets candidate search when the run's oracle
+  /// is not CH-backed (exact/LRU backends); guarded by extra_oracle_mutex_.
+  std::unique_ptr<ContractionHierarchy> bucket_ch_;
 };
 
 }  // namespace mtshare

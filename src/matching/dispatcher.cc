@@ -1,8 +1,32 @@
 #include "matching/dispatcher.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace mtshare {
+
+const char* CandidateSearchName(CandidateSearch mode) {
+  switch (mode) {
+    case CandidateSearch::kIndex:
+      return "index";
+    case CandidateSearch::kChBuckets:
+      return "ch_buckets";
+  }
+  return "index";
+}
+
+bool ParseCandidateSearch(std::string_view name, CandidateSearch* out) {
+  if (name == "index") {
+    *out = CandidateSearch::kIndex;
+    return true;
+  }
+  if (name == "ch_buckets") {
+    *out = CandidateSearch::kChBuckets;
+    return true;
+  }
+  return false;
+}
 
 Dispatcher::Dispatcher(const RoadNetwork& network, DistanceOracle* oracle,
                        std::vector<TaxiState>* fleet,
@@ -32,6 +56,145 @@ void Dispatcher::RegisterCandidateStops(const TaxiState& t) {
     batch_walk_buf_.push_back(e.vertex);
   }
   batch_.AddCandidate(batch_walk_buf_);
+}
+
+void Dispatcher::EnableChBucketSearch(const ContractionHierarchy* ch) {
+  if (ch == nullptr) {
+    buckets_.reset();
+    return;
+  }
+  buckets_ = std::make_unique<LastStopBuckets>(
+      *ch, static_cast<int32_t>(fleet_->size()));
+}
+
+const std::vector<TaxiId>& Dispatcher::BucketSweep(VertexId origin,
+                                                   Seconds budget) {
+  // Anchors are read straight off the fleet, exactly as the index path's
+  // probes do (no sync here: the schemes do not sync during their scans
+  // either, and any lazy advance re-dirties the taxi via
+  // OnScheduleChanged, so the next sweep sees the moved location).
+  buckets_->FlushDirty([this](TaxiId id) { return taxi(id).location; });
+  buckets_->Sweep(origin, budget);
+  return buckets_->found();
+}
+
+/// Slot screen for one candidate. Notation: the base schedule has events
+/// ev[0..m); slot i inserts before ev[i] (i == m appends); prev_i is the
+/// stop driven from (taxi location for i == 0). All bounds chain the
+/// landmark triangle inequalities, so a cleared slot is *provably*
+/// infeasible under the exact leg costs:
+///   - lba[k] <= arr[k]: lower-bound arrival chain (arc costs are dyadic,
+///     so both chains sum exactly in doubles; LowerBound never exceeds the
+///     true leg).
+///   - P1: even the lower-bound pickup time from slot i misses the pickup
+///     deadline — no (i, j) can be feasible.
+///   - P2 (i < m): ANY insertion with pickup at i displaces ev[i] by at
+///     least lb_d1 = LB(prev_i, o) + LB(o, v_i) - UB(prev_i, v_i) (for
+///     j > i that is d1 itself; for j == i the full detour routes o -> d
+///     -> v_i, and d(o,d) + d(d,v_i) >= d(o,v_i) >= LB(o,v_i)). If ev[i]'s
+///     own deadline gap cannot absorb lb_d1, every pair is infeasible.
+///     Uses the PER-SLOT gap, not the suffix min: later events also gain
+///     the dropoff displacement, so their gaps are not comparable here.
+///   - D1: the lower-bound dropoff time from slot j misses the delivery
+///     deadline for every pickup i <= j (for i < j the displaced arrival
+///     at ev[j-1] is >= lba[j-1] since d1 >= 0; for i == j the route
+///     prev_j -> o -> d costs at least d(prev_j, d) >= LB(prev_j, d)).
+///   - D2 (j < m): every event k >= j is displaced by at least
+///     lb_d2 = LB(prev_j, d) + LB(d, v_j) - UB(prev_j, v_j) (for i < j the
+///     total displacement is d1 + d2 >= d2 >= lb_d2; for i == j the full
+///     detour bounds the same way via d(prev,o) + d(o,d) >= d(prev,d)).
+///     The suffix-min gap over k >= j is valid because ALL of them shift.
+/// kLbSlack absorbs the (sub-ulp) FP slop of the comparisons, mirroring
+/// LowerBoundPrunesPickup. UpperBound returns kInfiniteCost on
+/// disconnected terms, making lb_d1/lb_d2 -inf: never prunes.
+bool Dispatcher::ComputeEllipseMask(const TaxiState& t, const RideRequest& r,
+                                    Seconds now, InsertionSlotMask* mask) {
+  const EventSpan ev = t.schedule.events();
+  const size_t m = ev.size();
+  mask->pickup.assign(m + 1, 1);
+  mask->dropoff.assign(m + 1, 1);
+  if (lb_landmarks_ == nullptr) return true;
+  const LandmarkGraph& lm = *lb_landmarks_;
+  slots_screened_ += static_cast<int64_t>(2 * (m + 1));
+  const Seconds pickup_deadline = r.PickupDeadline();
+
+  std::vector<Seconds>& lba = lba_buf_;
+  lba.assign(m, 0.0);
+  {
+    Seconds at_time = now;
+    VertexId at = t.location;
+    for (size_t k = 0; k < m; ++k) {
+      at_time += lm.LowerBound(at, ev[k].vertex);
+      lba[k] = at_time;
+      at = ev[k].vertex;
+    }
+  }
+  std::vector<Seconds>& gap_suffix = gap_suffix_buf_;
+  gap_suffix.assign(m + 1, kInfiniteCost);
+  for (size_t k = m; k-- > 0;) {
+    gap_suffix[k] = std::min(gap_suffix[k + 1], ev[k].deadline - lba[k]);
+  }
+
+  int64_t pruned = 0;
+  for (size_t i = 0; i <= m; ++i) {
+    const VertexId prev = (i == 0) ? t.location : ev[i - 1].vertex;
+    const Seconds t_prev_lb = (i == 0) ? now : lba[i - 1];
+    const Seconds to_pickup_lb = lm.LowerBound(prev, r.origin);
+    if (t_prev_lb + to_pickup_lb > pickup_deadline + kLbSlack) {  // P1
+      mask->pickup[i] = 0;
+      ++pruned;
+      continue;
+    }
+    if (i < m) {  // P2
+      const Seconds lb_d1 = to_pickup_lb +
+                            lm.LowerBound(r.origin, ev[i].vertex) -
+                            lm.UpperBound(prev, ev[i].vertex);
+      if (lb_d1 > (ev[i].deadline - lba[i]) + kLbSlack) {
+        mask->pickup[i] = 0;
+        ++pruned;
+      }
+    }
+  }
+  for (size_t j = 0; j <= m; ++j) {
+    const VertexId prev = (j == 0) ? t.location : ev[j - 1].vertex;
+    Seconds drop_lb;
+    if (j == 0) {
+      drop_lb = now + lm.LowerBound(t.location, r.origin) +
+                lm.LowerBound(r.origin, r.destination);
+    } else {
+      drop_lb = lba[j - 1] + lm.LowerBound(prev, r.destination);
+    }
+    if (drop_lb > r.deadline + kLbSlack) {  // D1
+      mask->dropoff[j] = 0;
+      ++pruned;
+      continue;
+    }
+    if (j < m) {  // D2
+      const Seconds lb_d2 = lm.LowerBound(prev, r.destination) +
+                            lm.LowerBound(r.destination, ev[j].vertex) -
+                            lm.UpperBound(prev, ev[j].vertex);
+      if (lb_d2 > gap_suffix[j] + kLbSlack) {
+        mask->dropoff[j] = 0;
+        ++pruned;
+      }
+    }
+  }
+  ellipse_pruned_ += pruned;
+
+  // The candidate survives iff some allowed pickup slot i has an allowed
+  // dropoff slot j >= i.
+  size_t last_drop = m + 1;  // sentinel: none allowed
+  for (size_t j = m + 1; j-- > 0;) {
+    if (mask->dropoff[j]) {
+      last_drop = j;
+      break;
+    }
+  }
+  if (last_drop == m + 1) return false;
+  for (size_t i = 0; i <= last_drop; ++i) {
+    if (mask->pickup[i]) return true;
+  }
+  return false;
 }
 
 bool Dispatcher::LowerBoundPrunesPickup(VertexId taxi_location,
@@ -72,7 +235,22 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
   // keep its stops out of the priming fan.
   eval_skip_.assign(candidates.size(), 0);
   std::vector<uint8_t>& skip = eval_skip_;
-  if (lb_landmarks_ != nullptr) {
+  const bool ellipse = EllipseScreenEnabled();
+  if (ellipse) {
+    // ch_buckets path: the detour-ellipse screen subsumes the lower-bound
+    // pickup prune (its P1 at slot 0 is the same test) and additionally
+    // masks provably infeasible insertion slots out of the DP. Fully
+    // pruned candidates are skipped outright and never registered with
+    // the priming batch. Sequential, so counters and the batch are
+    // thread-count invariant.
+    eval_masks_.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!ComputeEllipseMask(taxi(candidates[i]), request, now,
+                              &eval_masks_[i])) {
+        skip[i] = 1;
+      }
+    }
+  } else if (lb_landmarks_ != nullptr) {
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (LowerBoundPrunesPickup(taxi(candidates[i]).location, request,
                                  now)) {
@@ -100,7 +278,8 @@ Dispatcher::CandidateEval Dispatcher::EvaluateCandidates(
     }
     const TaxiState& t = taxi(candidates[i]);
     results[i] = FindBestInsertionDp(t.schedule, request, t.location, now,
-                                     t.onboard, t.capacity, cost);
+                                     t.onboard, t.capacity, cost,
+                                     ellipse ? &eval_masks_[i] : nullptr);
   };
   if (pool_ != nullptr && pool_->size() > 1 && candidates.size() > 1) {
     // Each slot is written by exactly one task; the oracle behind `cost` is

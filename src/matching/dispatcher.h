@@ -15,10 +15,31 @@
 #include "partition/landmark_graph.h"
 #include "partition/map_partitioning.h"
 #include "routing/distance_oracle.h"
+#include "routing/last_stop_buckets.h"
 #include "routing/one_to_many.h"
 #include "sched/route_planner.h"
 
 namespace mtshare {
+
+/// Which candidate-search path discovers pickup-reachable taxis
+/// (DESIGN.md §14). kIndex is each scheme's native structural scan with a
+/// per-taxi exact reachability probe; kChBuckets answers every probe of a
+/// dispatch with one backward CH sweep over last-stop bucket entries
+/// (LastStopBuckets) and screens insertion slots with detour-ellipse
+/// landmark bounds before exact routing. Dispatch decisions are
+/// bit-identical either way — both paths keep the same structural
+/// candidate set and order, and only replace provably-outcome-free work.
+enum class CandidateSearch {
+  kIndex = 0,
+  kChBuckets,
+};
+
+/// Lower-case stable name ("index", "ch_buckets").
+const char* CandidateSearchName(CandidateSearch mode);
+
+/// Parses a path name (as accepted by mtshare_sim --candidates=). Returns
+/// false on unknown names, leaving *out untouched.
+bool ParseCandidateSearch(std::string_view name, CandidateSearch* out);
 
 /// Parameters shared by all matching schemes (paper Table II).
 struct MatchingConfig {
@@ -57,6 +78,10 @@ struct MatchingConfig {
   /// oracle query per leg per candidate. Results are bit-identical either
   /// way; the toggle exists for the equivalence test and A/B benches.
   bool batched_routing = true;
+  /// Candidate-search path (see CandidateSearch). kChBuckets needs a
+  /// contraction hierarchy; MTShareSystem arms it via
+  /// Dispatcher::EnableChBucketSearch.
+  CandidateSearch candidate_search = CandidateSearch::kIndex;
 };
 
 /// Brings a taxi's simulated state up to `now` before it is read. The
@@ -151,6 +176,17 @@ class Dispatcher {
     (void)request;
     (void)taxi;
   }
+  /// A taxi's position or schedule changed in a way that can move its
+  /// last-stop bucket anchor: schedule commit, per-arc advance, lazy
+  /// materialization. The engine calls this IN ADDITION to the index
+  /// notifications above (schemes override those without chaining to the
+  /// base, so anchor upkeep needs its own hook). The base marks the taxi's
+  /// bucket entries dirty — O(1), idempotent; the rebuild is deferred to
+  /// the next sweep, which skips taxis whose anchor did not actually move.
+  /// No-op when bucket search is off.
+  virtual void OnScheduleChanged(TaxiId taxi) {
+    if (buckets_ != nullptr) buckets_->MarkDirty(taxi);
+  }
 
   /// Offline-request encounter (paper Sec. IV-C2): `taxi` met the waiting
   /// request at its origin vertex; serve it if a feasible insertion exists.
@@ -217,11 +253,28 @@ class Dispatcher {
     lb_landmarks_ = landmarks;
   }
 
+  /// Arms the ch_buckets candidate path on `ch` (must outlive the
+  /// dispatcher; null disarms). Construction marks every taxi dirty, so
+  /// the first sweep deposits the whole fleet. The schemes consult
+  /// ChBucketSearchEnabled() to route their reachability probes through
+  /// BucketSweep/BucketDistance instead of per-taxi oracle queries.
+  void EnableChBucketSearch(const ContractionHierarchy* ch);
+  bool ChBucketSearchEnabled() const { return buckets_ != nullptr; }
+  /// The bucket store (null unless enabled) — test/diagnostic access.
+  const LastStopBuckets* buckets() const { return buckets_.get(); }
+
   /// Batched-routing counters for Metrics / the run report.
   BatchRoutingStats routing_stats() const {
     BatchRoutingStats s = batch_.stats();
     s.batched = config_.batched_routing;
     s.lb_pruned = lb_pruned_;
+    s.bucket_search = buckets_ != nullptr;
+    if (buckets_ != nullptr) {
+      s.bucket_candidates = buckets_->stats().found;
+      s.bucket_maintenance_ms = buckets_->stats().maintenance_ms;
+    }
+    s.slots_screened = slots_screened_;
+    s.ellipse_pruned = ellipse_pruned_;
     return s;
   }
 
@@ -255,6 +308,35 @@ class Dispatcher {
                               Seconds now);
   static constexpr Seconds kLbSlack = 1e-6;
 
+  /// ch_buckets path: one backward CH sweep from `origin` discovers every
+  /// taxi whose current location reaches it within `budget` seconds
+  /// (typically pickup_deadline - now). Flushes dirty bucket entries first
+  /// (that is where maintenance time is paid), so the distances reflect
+  /// exactly the locations the index path's per-taxi probes would read.
+  /// Returns the found set; exact distances via BucketDistance.
+  const std::vector<TaxiId>& BucketSweep(VertexId origin, Seconds budget);
+  /// Exact cost taxi -> sweep origin from the most recent BucketSweep;
+  /// kInfiniteCost when the taxi was beyond the (slack-widened) budget.
+  /// Bit-identical to oracle_->Cost(taxi.location, origin) whenever the
+  /// true cost is within the budget, so callers re-checking against the
+  /// exact deadline make the same accept/reject decision as a probe.
+  Seconds BucketDistance(TaxiId id) const {
+    return buckets_->SweptDistance(id);
+  }
+  /// Detour-ellipse screen (DESIGN.md §14): fills `mask` with the
+  /// insertion slots of `t`'s schedule that the landmark lower/upper
+  /// bounds cannot prove infeasible for `r`. Returns false when no
+  /// (pickup <= dropoff) pair survives — the candidate can be skipped
+  /// without exact routing. Only provably infeasible slots are cleared,
+  /// so masked insertion search returns the unmasked optimum.
+  bool ComputeEllipseMask(const TaxiState& t, const RideRequest& r,
+                          Seconds now, InsertionSlotMask* mask);
+  /// The screen needs both the bucket path (the opt-in) and landmarks
+  /// (the bounds).
+  bool EllipseScreenEnabled() const {
+    return buckets_ != nullptr && lb_landmarks_ != nullptr;
+  }
+
   /// Materializes `taxi`'s simulated state up to `now` before reading it
   /// (no-op without a registered FleetSync, or when the taxi is current).
   /// Schemes call this ahead of candidate evaluation and encounter probes.
@@ -279,12 +361,24 @@ class Dispatcher {
   /// Landmark lower bounds for candidate pruning (null = disabled).
   const LandmarkGraph* lb_landmarks_ = nullptr;
   int64_t lb_pruned_ = 0;
+  /// Last-stop bucket store of the ch_buckets path (null = index path).
+  std::unique_ptr<LastStopBuckets> buckets_;
+  /// Detour-ellipse screen counters (run-report routing section).
+  int64_t slots_screened_ = 0;
+  int64_t ellipse_pruned_ = 0;
   std::vector<VertexId> batch_walk_buf_;
   /// EvaluateCandidates scratch, reused across requests (each slot is
   /// rewritten — or its `found` flag cleared — before the reduction reads
   /// it). Worker threads write disjoint slots only.
   std::vector<InsertionResult> eval_results_;
   std::vector<uint8_t> eval_skip_;
+  /// Per-candidate slot masks from the ellipse screen (written
+  /// sequentially before the pool fan-out; workers read disjoint slots).
+  std::vector<InsertionSlotMask> eval_masks_;
+  /// ComputeEllipseMask scratch: lower-bound arrival chain and suffix-min
+  /// deadline gaps of the candidate's base schedule.
+  std::vector<Seconds> lba_buf_;
+  std::vector<Seconds> gap_suffix_buf_;
   /// Per-phase dispatch time; schemes attribute their sections with
   /// ScopedPhaseTimer. Written only by the engine thread.
   PhaseTimers phase_timers_;

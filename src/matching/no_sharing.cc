@@ -42,13 +42,21 @@ DispatchOutcome NoSharingDispatcher::Dispatch(const RideRequest& request,
              DistanceSquared(network_.coord(taxi(b).location), origin);
     });
   }
+  // ch_buckets path: one backward CH sweep answers every per-candidate
+  // reachability probe below; the nearest-first scan order is unchanged.
+  const bool buckets = ChBucketSearchEnabled();
+  if (buckets) {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
+    BucketSweep(request.origin, request.PickupDeadline() - now);
+  }
   for (int32_t id : nearby) {
     const TaxiState& t = taxi(id);
     if (!t.Idle() || t.capacity < request.passengers) continue;
     ++outcome.candidates;
     {
       ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
-      Seconds approach = oracle_->Cost(t.location, request.origin);
+      Seconds approach = buckets ? BucketDistance(id)
+                                 : oracle_->Cost(t.location, request.origin);
       if (now + approach > request.PickupDeadline()) continue;
     }
     Schedule schedule;

@@ -71,20 +71,41 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
   if (config_.batched_routing) {
     batch_.Begin(request.origin, request.destination);
   }
+  // ch_buckets path: one backward CH sweep replaces the per-candidate
+  // reachability probes, and the detour-ellipse screen skips candidates
+  // (and their per-candidate Prime passes) whose every insertion slot is
+  // provably infeasible. The first-valid scan order is unchanged.
+  const bool buckets = ChBucketSearchEnabled();
+  if (buckets) {
+    ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kCandidateSearch);
+    BucketSweep(request.origin, request.PickupDeadline() - now);
+  }
   for (int32_t id : candidates) {
     const TaxiState& t = taxi(id);
     ++outcome.candidates;
     {
       ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kFilter);
-      // Admissible lower bound first: prunes without touching the oracle
-      // and can never disagree with the exact check below.
-      if (LowerBoundPrunesPickup(t.location, request, now)) continue;
-      Seconds approach = oracle_->Cost(t.location, request.origin);
-      if (now + approach > request.PickupDeadline()) continue;
+      if (buckets) {
+        if (now + BucketDistance(id) > request.PickupDeadline()) continue;
+      } else {
+        // Admissible lower bound first: prunes without touching the oracle
+        // and can never disagree with the exact check below.
+        if (LowerBoundPrunesPickup(t.location, request, now)) continue;
+        Seconds approach = oracle_->Cost(t.location, request.origin);
+        if (now + approach > request.PickupDeadline()) continue;
+      }
     }
     InsertionResult ins;
     {
       ScopedPhaseTimer timer(phase_timers_, DispatchPhase::kInsertion);
+      const InsertionSlotMask* mask = nullptr;
+      if (EllipseScreenEnabled()) {
+        // A fully pruned candidate's DP could only return found == false;
+        // skipping it before RegisterCandidateStops/Prime also saves its
+        // two batch passes.
+        if (!ComputeEllipseMask(t, request, now, &mask_buf_)) continue;
+        mask = &mask_buf_;
+      }
       LegCostFn cost;
       if (config_.batched_routing) {
         RegisterCandidateStops(t);
@@ -94,7 +115,7 @@ DispatchOutcome TShareDispatcher::Dispatch(const RideRequest& request,
         cost = OracleCost();
       }
       ins = FindBestInsertionDp(t.schedule, request, t.location, now,
-                                t.onboard, t.capacity, cost);
+                                t.onboard, t.capacity, cost, mask);
     }
     if (!ins.found) continue;
     RoutePlanner::PlannedRoute route =

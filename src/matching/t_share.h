@@ -33,6 +33,8 @@ class TShareDispatcher : public Dispatcher {
 
  private:
   DynamicGridIndex index_;  ///< positions of all taxis
+  /// Detour-ellipse scratch (Dispatch is serialized per instance).
+  InsertionSlotMask mask_buf_;
 };
 
 }  // namespace mtshare

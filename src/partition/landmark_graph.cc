@@ -103,6 +103,18 @@ Seconds LandmarkGraph::LowerBound(VertexId a, VertexId b) const {
   return lb > 0.0 ? lb : 0.0;
 }
 
+Seconds LandmarkGraph::UpperBound(VertexId a, VertexId b) const {
+  PartitionId pa = partitioning_->PartitionOf(a);
+  PartitionId pb = partitioning_->PartitionOf(b);
+  Seconds ll = LandmarkCost(pa, pb);
+  Seconds ta = to_landmark_[a];
+  Seconds fb = from_landmark_[b];
+  if (ll >= kInfiniteCost || ta >= kInfiniteCost || fb >= kInfiniteCost) {
+    return kInfiniteCost;
+  }
+  return ta + ll + fb;
+}
+
 bool LandmarkGraph::Adjacent(PartitionId a, PartitionId b) const {
   const auto& nbrs = adjacency_[a];
   return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();

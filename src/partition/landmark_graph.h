@@ -47,6 +47,15 @@ class LandmarkGraph {
   /// infinite. O(1): all three terms are precomputed at build.
   Seconds LowerBound(VertexId a, VertexId b) const;
 
+  /// Admissible *upper* bound on the travel cost a -> b, by routing through
+  /// the home landmarks:  d(a, b) <= d(a, l_a) + d(l_a, l_b) + d(l_b, b).
+  /// Never below the true cost; returns kInfiniteCost when any term is
+  /// infinite (an unusable bound, unlike LowerBound's vacuous 0). O(1):
+  /// all three terms are precomputed at build. Paired with LowerBound in
+  /// the detour-ellipse screen (DESIGN.md §14) to lower-bound the added
+  /// cost of an insertion slot: LB(x, o) + LB(o, y) - UB(x, y) <= d1.
+  Seconds UpperBound(VertexId a, VertexId b) const;
+
   size_t MemoryBytes() const;
 
  private:

@@ -138,6 +138,12 @@ class DistanceOracle {
   /// CH preprocessing counters (zeros outside CH mode).
   const ChBuildStats& ch_build_stats() const { return ch_build_stats_; }
 
+  /// The contraction hierarchy backing this oracle, or nullptr outside CH
+  /// mode. Consumers (e.g. LastStopBuckets) may share it read-only; the
+  /// hierarchy is immutable after construction and outlives the oracle's
+  /// queries.
+  const ContractionHierarchy* ch() const { return ch_.get(); }
+
   /// Resident bytes of the table / cache / CH index incl. pooled query
   /// engines (Tab. IV memory accounting).
   size_t MemoryBytes() const;

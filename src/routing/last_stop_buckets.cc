@@ -1,0 +1,168 @@
+#include "routing/last_stop_buckets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace mtshare {
+
+LastStopBuckets::LastStopBuckets(const ContractionHierarchy& ch,
+                                 int32_t num_taxis)
+    : ch_(ch) {
+  MTSHARE_CHECK(num_taxis >= 0);
+  const int32_t n = ch_.num_vertices();
+  buckets_.resize(n);
+  handles_.resize(num_taxis);
+  anchor_.assign(num_taxis, kInvalidVertex);
+  dirty_.assign(num_taxis, 1);  // everything deposits on the first flush
+  dist_f_.assign(n, 0.0);
+  epoch_f_.assign(n, 0);
+  swept_dist_.assign(num_taxis, 0.0);
+  swept_epoch_.assign(num_taxis, 0);
+}
+
+void LastStopBuckets::BumpEpoch() {
+  ++epoch_id_;
+  if (epoch_id_ == 0) {  // wrapped: hard reset so stale stamps cannot match
+    std::fill(epoch_f_.begin(), epoch_f_.end(), 0);
+    epoch_id_ = 1;
+  }
+}
+
+void LastStopBuckets::RemoveDeposits(TaxiId id) {
+  for (const Handle& h : handles_[id]) {
+    std::vector<BucketEntry>& bucket = buckets_[h.vertex];
+    const uint32_t pos = h.pos;
+    BucketEntry moved = bucket.back();
+    bucket[pos] = moved;
+    bucket.pop_back();
+    if (pos < bucket.size()) {
+      // A different taxi's entry was swapped into `pos` (one entry per
+      // taxi per vertex, so it cannot be another handle of `id`); fix its
+      // owner's back-reference.
+      handles_[moved.taxi][moved.slot].pos = pos;
+    }
+  }
+  live_entries_ -= static_cast<int64_t>(handles_[id].size());
+  handles_[id].clear();
+}
+
+void LastStopBuckets::Deposit(TaxiId id, VertexId anchor) {
+  // Forward upward search from the anchor, run to exhaustion — the same
+  // search ChQuery::Cost runs from its source, so every settled vertex v
+  // carries the exact minimal upward-path cost anchor -> v.
+  BumpEpoch();
+  while (!queue_.empty()) queue_.pop();
+  dist_f_[anchor] = 0.0;
+  epoch_f_[anchor] = epoch_id_;
+  queue_.push({0.0, anchor});
+  std::vector<Handle>& handles = handles_[id];
+  while (!queue_.empty()) {
+    auto [cost, v] = queue_.top();
+    queue_.pop();
+    if (cost > dist_f_[v]) continue;
+    ++stats_.deposit_settled;
+    buckets_[v].push_back(
+        {id, cost, static_cast<uint32_t>(handles.size())});
+    handles.push_back({v, static_cast<uint32_t>(buckets_[v].size() - 1)});
+    for (const ContractionHierarchy::SearchArc& arc : ch_.UpArcs(v)) {
+      Seconds cand = cost + arc.cost;
+      if (epoch_f_[arc.head] != epoch_id_ || cand < dist_f_[arc.head]) {
+        epoch_f_[arc.head] = epoch_id_;
+        dist_f_[arc.head] = cand;
+        queue_.push({cand, arc.head});
+      }
+    }
+  }
+  live_entries_ += static_cast<int64_t>(handles.size());
+  anchor_[id] = anchor;
+}
+
+void LastStopBuckets::FlushDirty(
+    const std::function<VertexId(TaxiId)>& anchor_of) {
+  WallTimer timer;
+  bool any = false;
+  for (TaxiId id = 0; id < num_taxis(); ++id) {
+    if (!dirty_[id]) continue;
+    any = true;
+    dirty_[id] = 0;
+    VertexId anchor = anchor_of(id);
+    if (anchor == anchor_[id]) continue;  // moved and returned: still valid
+    RemoveDeposits(id);
+    Deposit(id, anchor);
+    ++stats_.updates;
+  }
+  if (any) stats_.maintenance_ms += timer.ElapsedMillis();
+}
+
+void LastStopBuckets::Sweep(VertexId origin, Seconds budget) {
+  ++stats_.sweeps;
+  ++sweep_epoch_id_;
+  if (sweep_epoch_id_ == 0) {
+    std::fill(swept_epoch_.begin(), swept_epoch_.end(), 0);
+    sweep_epoch_id_ = 1;
+  }
+  found_.clear();
+  const Seconds cutoff = budget + kBudgetSlack;
+  if (!(cutoff >= 0.0)) return;  // negative budget: nothing is reachable
+
+  // Backward upward search from the origin over DownArcs: a settled vertex
+  // v reaches the origin along a down-path of exact cost dist_f_[v], so
+  // deposit.dist + dist_f_[v] is an exact up-down path anchor -> origin.
+  // Dijkstra settles in nondecreasing order, so breaking at the cutoff
+  // still settles every vertex with final distance <= cutoff — including
+  // the meeting vertex realizing the true distance of every taxi within
+  // budget.
+  BumpEpoch();
+  while (!queue_.empty()) queue_.pop();
+  dist_f_[origin] = 0.0;
+  epoch_f_[origin] = epoch_id_;
+  queue_.push({0.0, origin});
+  while (!queue_.empty()) {
+    auto [cost, v] = queue_.top();
+    queue_.pop();
+    if (cost > cutoff) break;
+    if (cost > dist_f_[v]) continue;
+    ++stats_.sweep_settled;
+    for (const BucketEntry& entry : buckets_[v]) {
+      Seconds cand = entry.dist + cost;
+      if (cand > cutoff) continue;
+      if (swept_epoch_[entry.taxi] != sweep_epoch_id_) {
+        swept_epoch_[entry.taxi] = sweep_epoch_id_;
+        swept_dist_[entry.taxi] = cand;
+        found_.push_back(entry.taxi);
+      } else if (cand < swept_dist_[entry.taxi]) {
+        swept_dist_[entry.taxi] = cand;
+      }
+    }
+    for (const ContractionHierarchy::SearchArc& arc : ch_.DownArcs(v)) {
+      Seconds cand = cost + arc.cost;
+      if (cand > cutoff) continue;
+      if (epoch_f_[arc.head] != epoch_id_ || cand < dist_f_[arc.head]) {
+        epoch_f_[arc.head] = epoch_id_;
+        dist_f_[arc.head] = cand;
+        queue_.push({cand, arc.head});
+      }
+    }
+  }
+  stats_.found += static_cast<int64_t>(found_.size());
+}
+
+size_t LastStopBuckets::MemoryBytes() const {
+  size_t bytes = buckets_.size() * sizeof(std::vector<BucketEntry>) +
+                 handles_.size() * sizeof(std::vector<Handle>);
+  for (const auto& bucket : buckets_) {
+    bytes += bucket.capacity() * sizeof(BucketEntry);
+  }
+  for (const auto& handles : handles_) {
+    bytes += handles.capacity() * sizeof(Handle);
+  }
+  bytes += (anchor_.size() + found_.capacity()) * sizeof(VertexId);
+  bytes += dirty_.size() * sizeof(uint8_t);
+  bytes += (dist_f_.size() + swept_dist_.size()) * sizeof(Seconds);
+  bytes += (epoch_f_.size() + swept_epoch_.size()) * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace mtshare

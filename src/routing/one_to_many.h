@@ -47,6 +47,20 @@ struct BatchRoutingStats {
   int64_t ch_upward_settled = 0;
   /// Entries deposited into CH buckets while priming batches.
   int64_t ch_bucket_entries = 0;
+
+  // --- candidate-search path (DESIGN.md §14; zero on the index path) ---
+  /// Whether the dispatcher ran with the ch_buckets candidate path.
+  bool bucket_search = false;
+  /// Taxis returned by last-stop bucket sweeps (pre exact-deadline
+  /// re-check).
+  int64_t bucket_candidates = 0;
+  /// Wall-clock milliseconds spent keeping last-stop buckets in sync with
+  /// schedule commits/advances (FlushDirty rebuild time).
+  double bucket_maintenance_ms = 0.0;
+  /// Insertion slots examined by the detour-ellipse screen.
+  int64_t slots_screened = 0;
+  /// Insertion slots the screen proved infeasible before exact routing.
+  int64_t ellipse_pruned = 0;
 };
 
 /// Truncated Dijkstra: one forward search from `source` that stops as soon

@@ -80,14 +80,17 @@ ScheduleCheck CheckSchedule(const Schedule& schedule, VertexId start_vertex,
 InsertionResult FindBestInsertion(const Schedule& base, const RideRequest& r,
                                   VertexId taxi_location, Seconds now,
                                   int32_t onboard, int32_t capacity,
-                                  const LegCostFn& leg_cost) {
+                                  const LegCostFn& leg_cost,
+                                  const InsertionSlotMask* slot_mask) {
   InsertionResult best;
   ScheduleCheck base_check =
       CheckSchedule(base, taxi_location, now, onboard, capacity, leg_cost);
   if (!base_check.feasible) return best;
 
   for (size_t i = 0; i <= base.size(); ++i) {
+    if (slot_mask != nullptr && !slot_mask->pickup[i]) continue;
     for (size_t j = i; j <= base.size(); ++j) {
+      if (slot_mask != nullptr && !slot_mask->dropoff[j]) continue;
       Schedule candidate = Schedule::WithInsertion(base, r, i, j);
       ScheduleCheck check = CheckSchedule(candidate, taxi_location, now,
                                           onboard, capacity, leg_cost);
@@ -109,7 +112,8 @@ InsertionResult FindBestInsertion(const Schedule& base, const RideRequest& r,
 InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
                                     VertexId taxi_location, Seconds now,
                                     int32_t onboard, int32_t capacity,
-                                    const LegCostFn& leg_cost) {
+                                    const LegCostFn& leg_cost,
+                                    const InsertionSlotMask* slot_mask) {
   const size_t m = base.size();
   const auto& ev = base.events();
   if (onboard > capacity) return InsertionResult{};
@@ -144,6 +148,7 @@ InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
   InsertionResult best;
 
   for (size_t i = 0; i <= m; ++i) {
+    if (slot_mask != nullptr && !slot_mask->pickup[i]) continue;
     const VertexId prev_i = (i == 0) ? taxi_location : ev[i - 1].vertex;
     const Seconds t_prev = (i == 0) ? now : arr[i - 1];
     const int32_t load_before_i = (i == 0) ? onboard : load_after[i - 1];
@@ -155,7 +160,7 @@ InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
     if (pickup_t > pickup_deadline) continue;
 
     // Case j == i: dropoff immediately follows pickup.
-    {
+    if (slot_mask == nullptr || slot_mask->dropoff[i]) {
       const Seconds ride = leg_cost(r.origin, r.destination);
       if (ride != kInfiniteCost) {
         const Seconds drop_t = pickup_t + ride;
@@ -203,6 +208,7 @@ InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
       max_load = std::max(max_load, load_after[j - 1]);
       if (d1 > min_gap) break;                // later j only shrinks min_gap
       if (max_load + pax > capacity) break;   // and grows max_load
+      if (slot_mask != nullptr && !slot_mask->dropoff[j]) continue;
 
       const VertexId prev_j = ev[j - 1].vertex;
       const Seconds to_drop = leg_cost(prev_j, r.destination);
@@ -246,7 +252,7 @@ InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
       // by an ulp. Defer to the walk-based search, whose winner is
       // feasible by construction.
       return FindBestInsertion(base, r, taxi_location, now, onboard,
-                               capacity, leg_cost);
+                               capacity, leg_cost, slot_mask);
     }
   }
   return best;

@@ -122,24 +122,37 @@ struct InsertionResult {
   ScheduleCheck check;  // its feasibility walk
 };
 
+/// Per-slot screen for insertion search: slot i (insert before base event
+/// i; i == size() appends) participates only while its flag is nonzero.
+/// Producers (the detour-ellipse screen, DESIGN.md §14) may only clear
+/// slots that are PROVABLY infeasible — the searches below skip cleared
+/// slots without checking them, so an over-eager mask would change the
+/// returned optimum. Both vectors must have size() + 1 entries.
+struct InsertionSlotMask {
+  std::vector<uint8_t> pickup;
+  std::vector<uint8_t> dropoff;
+};
+
 /// Enumerates all (pickup_pos <= dropoff_pos) insertions of `r` into `base`
 /// (O(m^2) instances, each checked in O(m)) and returns the feasible
 /// instance with minimum detour. This is the exhaustive scan of paper
-/// Algorithm 1's inner loop.
+/// Algorithm 1's inner loop. `slot_mask` (optional) skips screened-out
+/// slots.
 InsertionResult FindBestInsertion(const Schedule& base, const RideRequest& r,
                                   VertexId taxi_location, Seconds now,
                                   int32_t onboard, int32_t capacity,
-                                  const LegCostFn& leg_cost);
+                                  const LegCostFn& leg_cost,
+                                  const InsertionSlotMask* slot_mask = nullptr);
 
 /// Same optimum as FindBestInsertion, computed with the dynamic-programming
 /// slack precomputation of the pGreedyDP baseline (Tong et al., VLDB'18):
 /// prefix arrival times and suffix slack arrays make each candidate pair
 /// O(1) to evaluate after O(m) setup, so the whole search is O(m^2) instead
 /// of O(m^3).
-InsertionResult FindBestInsertionDp(const Schedule& base, const RideRequest& r,
-                                    VertexId taxi_location, Seconds now,
-                                    int32_t onboard, int32_t capacity,
-                                    const LegCostFn& leg_cost);
+InsertionResult FindBestInsertionDp(
+    const Schedule& base, const RideRequest& r, VertexId taxi_location,
+    Seconds now, int32_t onboard, int32_t capacity, const LegCostFn& leg_cost,
+    const InsertionSlotMask* slot_mask = nullptr);
 
 }  // namespace mtshare
 

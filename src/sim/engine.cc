@@ -229,6 +229,7 @@ void SimulationEngine::DispatchOne(const RideRequest& r, Seconds now) {
               outcome.probabilistic_route);
     ExecuteDueEvents(taxi);  // pickup may be immediate (same vertex)
     dispatcher_->OnScheduleCommitted(outcome.taxi);
+    dispatcher_->OnScheduleChanged(outcome.taxi);
     NoteCommit(taxi);
     if (options_.event_driven) {
       RearmTaxi(taxi);
@@ -363,6 +364,7 @@ void SimulationEngine::AdvanceTaxi(TaxiState& taxi, Seconds now) {
     bool had_events = !taxi.schedule.empty();
     ExecuteDueEvents(taxi);
     dispatcher_->OnTaxiMoved(taxi.id);
+    dispatcher_->OnScheduleChanged(taxi.id);
     if (had_events && taxi.schedule.empty()) {
       // Route drained to idle; let the scheme refresh its indexes.
       dispatcher_->OnScheduleCommitted(taxi.id);
@@ -421,6 +423,11 @@ void SimulationEngine::AdvanceTaxiEvent(TaxiState& taxi, Seconds now) {
   if (taxi.route_pos > batch_start) {
     dispatcher_->OnTaxiAdvanced(taxi.id, batch_start, taxi.route_pos);
   }
+  // Unconditional: a served encounter replans the route and resets
+  // route_pos to 0, which can coincidentally equal the starting position,
+  // so a moved-position check would be unsound. Dirty-marking is O(1) and
+  // idempotent; the flush skips taxis whose anchor did not move.
+  dispatcher_->OnScheduleChanged(taxi.id);
 }
 
 void SimulationEngine::RearmTaxi(const TaxiState& taxi) {
@@ -548,6 +555,7 @@ void SimulationEngine::CheckOfflineEncounters(TaxiState& taxi, Seconds now) {
               outcome.probabilistic_route);
     ExecuteDueEvents(taxi);  // the pickup may be immediate
     dispatcher_->OnScheduleCommitted(taxi.id);
+    dispatcher_->OnScheduleChanged(taxi.id);
     NoteCommit(taxi);
     offline_done_[r.id] = 1;
     if (options_.on_decision) options_.on_decision(r, rec);

@@ -134,7 +134,7 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   JsonWriter w(indent);
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(5);
+  w.Int(6);
   w.Key("experiment");
   w.String(context.experiment);
   w.Key("scheme");
@@ -241,6 +241,21 @@ std::string RunReportJson(const RunReportContext& context, const Metrics& m,
   w.Int(m.routing.ch_upward_settled);
   w.Key("ch_bucket_entries");
   w.Int(m.routing.ch_bucket_entries);
+  // schema_version 6 adds the candidate-search path (DESIGN.md §14):
+  // which path discovered pickup-reachable taxis, how many taxis the
+  // last-stop bucket sweeps returned, the bucket upkeep cost, and the
+  // detour-ellipse screen's slot traffic. All zero / "index" on the
+  // native path.
+  w.Key("candidate_search");
+  w.String(m.routing.bucket_search ? "ch_buckets" : "index");
+  w.Key("bucket_candidates");
+  w.Int(m.routing.bucket_candidates);
+  w.Key("bucket_maintenance_ms");
+  w.Double(m.routing.bucket_maintenance_ms);
+  w.Key("slots_screened");
+  w.Int(m.routing.slots_screened);
+  w.Key("ellipse_pruned");
+  w.Int(m.routing.ellipse_pruned);
   w.EndObject();
 
   // schema_version 4 adds the engine block: which advancement core ran and

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/mtshare_system.h"
+#include "graph/graph_generators.h"
+
+namespace mtshare {
+namespace {
+
+// Runs in mtshare_thread_tests so the tsan preset checks it: 8 threads
+// call RunScenario on ONE system with the ch_buckets candidate path. The
+// first runs race to lazily build the shared bucket-search hierarchy
+// (MTShareSystem::BucketSearchCh serializes construction behind a mutex),
+// then every dispatcher reads the same ContractionHierarchy concurrently
+// while owning its private LastStopBuckets store. Every run must land on
+// the same decisions as a reference run computed before the threads start.
+TEST(BucketSearchConcurrencyTest, ConcurrentChBucketRunsStayIdentical) {
+  GridCityOptions gopt;
+  gopt.rows = 12;
+  gopt.cols = 12;
+  gopt.seed = 71;
+  RoadNetwork net = MakeGridCity(gopt);
+  DemandModelOptions dopt;
+  dopt.seed = 72;
+  DemandModel demand(net, dopt);
+  DistanceOracle scratch(net);
+  ScenarioOptions sopt;
+  sopt.num_requests = 60;
+  sopt.num_historical_trips = 1500;
+  sopt.offline_fraction = 0.2;
+  sopt.seed = 73;
+  Scenario scenario = MakeScenario(net, demand, scratch, sopt);
+
+  SystemConfig config;
+  config.kappa = 12;
+  config.kt = 5;
+  config.matching.candidate_search = CandidateSearch::kChBuckets;
+  MTShareSystem system(net, scenario.HistoricalOdPairs(), config);
+
+  ScenarioSpec spec;
+  spec.scheme = SchemeKind::kMtShare;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = 12;
+  Result<Metrics> reference = system.RunScenario(spec);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference.value().routing.bucket_search);
+
+  constexpr int kThreads = 8;
+  ThreadPool pool(kThreads);
+  std::vector<Metrics> results(kThreads);
+  std::vector<std::future<void>> futures;
+  for (int w = 0; w < kThreads; ++w) {
+    futures.push_back(pool.Submit([&system, &spec, &results, w] {
+      Result<Metrics> run = system.RunScenario(spec);
+      EXPECT_TRUE(run.ok()) << run.status();
+      if (run.ok()) results[static_cast<size_t>(w)] = std::move(run).value();
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  for (int w = 0; w < kThreads; ++w) {
+    const Metrics& m = results[static_cast<size_t>(w)];
+    SCOPED_TRACE("worker " + std::to_string(w));
+    EXPECT_EQ(m.ServedRequests(), reference.value().ServedRequests());
+    EXPECT_DOUBLE_EQ(m.total_driver_income,
+                     reference.value().total_driver_income);
+    ASSERT_EQ(m.records().size(), reference.value().records().size());
+    for (size_t i = 0; i < m.records().size(); ++i) {
+      const RequestRecord& got = m.records()[i];
+      const RequestRecord& want = reference.value().records()[i];
+      EXPECT_EQ(got.assigned, want.assigned) << "request " << i;
+      EXPECT_EQ(got.taxi, want.taxi) << "request " << i;
+      EXPECT_DOUBLE_EQ(got.dropoff_time, want.dropoff_time)
+          << "request " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtshare

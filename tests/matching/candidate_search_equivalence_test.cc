@@ -1,0 +1,243 @@
+// The ch_buckets candidate path must make BIT-IDENTICAL dispatch
+// decisions to the index path: last-stop bucket sweeps answer the same
+// reachability predicate the per-taxi probes answer, and the
+// detour-ellipse screen only clears provably infeasible insertion slots.
+// These tests run the whole system both ways for every scheme and compare
+// run outcomes field by field (the ISSUE 10 acceptance gate), and pin the
+// bucket-store consistency invariant under the event-driven engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/mtshare_system.h"
+#include "graph/graph_generators.h"
+#include "matching/taxi_state.h"
+#include "sim/engine.h"
+#include "sim/request_source.h"
+
+namespace mtshare {
+namespace {
+
+struct RunOptions {
+  SchemeKind scheme = SchemeKind::kMtShare;
+  uint64_t seed = 11;
+  CandidateSearch candidates = CandidateSearch::kIndex;
+  bool event_driven = true;
+  int32_t num_threads = 1;
+  OracleBackend oracle_backend = OracleBackend::kAuto;
+};
+
+Metrics RunOnce(const RunOptions& opt) {
+  GridCityOptions gopt;
+  gopt.rows = 16;
+  gopt.cols = 16;
+  gopt.seed = opt.seed;
+  RoadNetwork net = MakeGridCity(gopt);
+
+  DemandModelOptions dopt;
+  dopt.seed = opt.seed + 1;
+  DemandModel demand(net, dopt);
+  DistanceOracle oracle(net);
+  ScenarioOptions sopt;
+  sopt.num_requests = 160;
+  sopt.num_historical_trips = 2500;
+  sopt.offline_fraction = 0.2;
+  sopt.seed = opt.seed + 2;
+  Scenario scenario = MakeScenario(net, demand, oracle, sopt);
+
+  SystemConfig config;
+  config.kappa = 16;
+  config.kt = 5;
+  config.matching.candidate_search = opt.candidates;
+  // Fresh system per run so dispatcher indexes and bucket stores start
+  // cold and the comparison sees identical initial state.
+  MTShareSystem system(net, scenario.HistoricalOdPairs(), config);
+
+  ScenarioSpec spec;
+  spec.scheme = opt.scheme;
+  spec.requests = &scenario.requests;
+  spec.num_taxis = 24;
+  spec.fleet_seed = opt.seed + 3;
+  spec.event_driven = opt.event_driven;
+  spec.num_threads = opt.num_threads;
+  spec.oracle_backend = opt.oracle_backend;
+  Result<Metrics> run = system.RunScenario(spec);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return std::move(run).value();
+}
+
+/// Asserts identical decisions. Unlike the engine-equivalence harness this
+/// deliberately does NOT compare oracle query counts — eliminating probes
+/// is the ch_buckets path's whole point; what must agree is every
+/// per-request decision field and the aggregate outcomes they roll into.
+void ExpectIdenticalDecisions(const Metrics& a, const Metrics& b,
+                              const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.TotalRequests(), b.TotalRequests());
+  EXPECT_EQ(a.ServedRequests(), b.ServedRequests());
+  EXPECT_EQ(a.ServedOnline(), b.ServedOnline());
+  EXPECT_EQ(a.ServedOffline(), b.ServedOffline());
+  EXPECT_DOUBLE_EQ(a.total_driver_income, b.total_driver_income);
+  EXPECT_EQ(a.engine.arcs_stepped, b.engine.arcs_stepped);
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (size_t i = 0; i < a.records().size(); ++i) {
+    const RequestRecord& ra = a.records()[i];
+    const RequestRecord& rb = b.records()[i];
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(ra.assigned, rb.assigned);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.taxi, rb.taxi);
+    EXPECT_EQ(ra.candidates, rb.candidates);
+    EXPECT_DOUBLE_EQ(ra.pickup_time, rb.pickup_time);
+    EXPECT_DOUBLE_EQ(ra.dropoff_time, rb.dropoff_time);
+    EXPECT_DOUBLE_EQ(ra.regular_fare, rb.regular_fare);
+    EXPECT_DOUBLE_EQ(ra.shared_fare, rb.shared_fare);
+  }
+}
+
+TEST(CandidateSearchEquivalenceTest, BucketsMatchIndexForEverySchemeAndSeed) {
+  for (uint64_t seed : {11u, 29u}) {
+    for (SchemeKind scheme :
+         {SchemeKind::kNoSharing, SchemeKind::kTShare, SchemeKind::kPGreedyDp,
+          SchemeKind::kMtShare, SchemeKind::kMtSharePro}) {
+      const std::string label =
+          std::string(SchemeName(scheme)) + " seed " + std::to_string(seed);
+      SCOPED_TRACE(label);
+      RunOptions opt;
+      opt.scheme = scheme;
+      opt.seed = seed;
+      opt.candidates = CandidateSearch::kIndex;
+      Metrics index = RunOnce(opt);
+      opt.candidates = CandidateSearch::kChBuckets;
+      Metrics buckets = RunOnce(opt);
+      ExpectIdenticalDecisions(index, buckets, label);
+      // The bucket path identified itself and did real sweep work.
+      // pGreedyDP is the exception: it has no reachability probe to
+      // replace (its DP rejects unreachable pickups), so it never sweeps
+      // and benefits from the ellipse screen alone.
+      EXPECT_FALSE(index.routing.bucket_search);
+      EXPECT_TRUE(buckets.routing.bucket_search);
+      EXPECT_EQ(index.routing.bucket_candidates, 0);
+      if (scheme != SchemeKind::kPGreedyDp && buckets.ServedOnline() > 0) {
+        EXPECT_GT(buckets.routing.bucket_candidates, 0);
+        EXPECT_GE(buckets.routing.bucket_maintenance_ms, 0.0);
+      }
+      // Every scheme with landmarks armed runs the detour-ellipse screen
+      // in place of the plain lower-bound pass (No-Sharing has neither a
+      // schedule to screen nor landmarks).
+      if (scheme != SchemeKind::kNoSharing && buckets.ServedOnline() > 0) {
+        EXPECT_GT(buckets.routing.slots_screened, 0)
+            << SchemeName(scheme);
+      }
+      EXPECT_EQ(index.routing.slots_screened, 0);
+      EXPECT_EQ(index.routing.ellipse_pruned, 0);
+      EXPECT_EQ(buckets.routing.fallback_queries, 0);
+    }
+  }
+}
+
+TEST(CandidateSearchEquivalenceTest, BucketsMatchAcrossEngineCores) {
+  // The dirty-anchor maintenance rides the engine's OnScheduleChanged
+  // notifications; both advancement cores must drive it to the same
+  // decisions (and to the index path's decisions).
+  RunOptions opt;
+  opt.scheme = SchemeKind::kMtShare;
+  opt.seed = 47;
+  opt.candidates = CandidateSearch::kChBuckets;
+  opt.event_driven = true;
+  Metrics event = RunOnce(opt);
+  opt.event_driven = false;
+  Metrics sweep = RunOnce(opt);
+  ExpectIdenticalDecisions(event, sweep, "event vs sweep core, ch_buckets");
+
+  opt.candidates = CandidateSearch::kIndex;
+  Metrics index_sweep = RunOnce(opt);
+  ExpectIdenticalDecisions(index_sweep, sweep, "index vs ch_buckets, sweep");
+}
+
+TEST(CandidateSearchEquivalenceTest, BucketsMatchUnderThreadedEvaluation) {
+  // Slot masks are written sequentially before the pool fan-out; a
+  // threaded run must reproduce the sequential decisions exactly.
+  RunOptions opt;
+  opt.scheme = SchemeKind::kTShare;
+  opt.seed = 29;
+  opt.candidates = CandidateSearch::kChBuckets;
+  opt.num_threads = 1;
+  Metrics sequential = RunOnce(opt);
+  opt.num_threads = 4;
+  Metrics threaded = RunOnce(opt);
+  ExpectIdenticalDecisions(sequential, threaded, "1 vs 4 threads");
+}
+
+TEST(CandidateSearchEquivalenceTest, BucketsMatchOnChOracleBackend) {
+  // On the CH oracle the bucket store shares the oracle's hierarchy
+  // instead of building its own; decisions still match the index path.
+  RunOptions opt;
+  opt.scheme = SchemeKind::kMtShare;
+  opt.seed = 11;
+  opt.oracle_backend = OracleBackend::kCh;
+  opt.candidates = CandidateSearch::kIndex;
+  Metrics index = RunOnce(opt);
+  opt.candidates = CandidateSearch::kChBuckets;
+  Metrics buckets = RunOnce(opt);
+  ExpectIdenticalDecisions(index, buckets, "ch oracle backend");
+  EXPECT_TRUE(buckets.routing.ch_active);
+}
+
+TEST(CandidateSearchEquivalenceTest, BucketStoreStaysConsistentMidRun) {
+  // Invariant the maintenance hooks must uphold at every decision point:
+  // a taxi's bucket deposits either match its CURRENT location or the
+  // taxi is marked dirty (so the next sweep rebuilds it). A missed
+  // OnScheduleChanged call would leave a moved taxi clean with a stale
+  // anchor, which this callback catches at every dispatch of a full run
+  // under the lazy event-driven core.
+  GridCityOptions gopt;
+  gopt.rows = 16;
+  gopt.cols = 16;
+  gopt.seed = 83;
+  RoadNetwork net = MakeGridCity(gopt);
+  DemandModelOptions dopt;
+  dopt.seed = 84;
+  DemandModel demand(net, dopt);
+  DistanceOracle oracle(net);
+  ScenarioOptions sopt;
+  sopt.num_requests = 160;
+  sopt.num_historical_trips = 2500;
+  sopt.offline_fraction = 0.2;
+  sopt.seed = 85;
+  Scenario scenario = MakeScenario(net, demand, oracle, sopt);
+  SystemConfig config;
+  config.kappa = 16;
+  config.kt = 5;
+  config.matching.candidate_search = CandidateSearch::kChBuckets;
+  MTShareSystem system(net, scenario.HistoricalOdPairs(), config);
+
+  std::vector<TaxiState> fleet =
+      MakeFleet(net, 24, config.taxi_capacity, 86,
+                scenario.requests.front().release_time);
+  std::unique_ptr<Dispatcher> dispatcher =
+      system.MakeDispatcher(SchemeKind::kMtShare, &fleet);
+  ASSERT_TRUE(dispatcher->ChBucketSearchEnabled());
+  const LastStopBuckets* buckets = dispatcher->buckets();
+  ASSERT_NE(buckets, nullptr);
+
+  EngineOptions eopts;
+  int64_t checks = 0;
+  eopts.on_decision = [&](const RideRequest&, const RequestRecord&) {
+    for (const TaxiState& t : fleet) {
+      ++checks;
+      EXPECT_TRUE(buckets->dirty(t.id) || buckets->anchor(t.id) == t.location)
+          << "taxi " << t.id << ": clean bucket entries anchored at "
+          << buckets->anchor(t.id) << " but taxi is at " << t.location;
+    }
+  };
+  SimulationEngine engine(net, dispatcher.get(), &fleet, eopts);
+  VectorRequestSource source(&scenario.requests);
+  Metrics m = engine.Run(source);
+  EXPECT_GT(m.ServedRequests(), 0);
+  EXPECT_GT(checks, 0);
+}
+
+}  // namespace
+}  // namespace mtshare

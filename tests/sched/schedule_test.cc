@@ -220,6 +220,126 @@ TEST_P(InsertionDpEquivalence, MatchesNaiveOnRandomInstances) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, InsertionDpEquivalence,
                          ::testing::Range(0, 8));
 
+// ------- Slot masks (the detour-ellipse screen's output contract) -------
+
+class InsertionMaskEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertionMaskEquivalence, MaskedSearchesAgreeOnRandomInstances) {
+  Rng rng(7000 + GetParam());
+  GridCityOptions gopt;
+  gopt.rows = 10;
+  gopt.cols = 10;
+  gopt.seed = 5;
+  RoadNetwork net = MakeGridCity(gopt);
+  DistanceOracle oracle(net);
+  LegCostFn cost = [&](VertexId a, VertexId b) { return oracle.Cost(a, b); };
+
+  auto random_vertex = [&]() {
+    return VertexId(rng.NextInt(0, net.num_vertices() - 1));
+  };
+  auto random_request = [&](RequestId id) {
+    RideRequest r;
+    r.id = id;
+    r.release_time = 0.0;
+    r.origin = random_vertex();
+    do {
+      r.destination = random_vertex();
+    } while (r.destination == r.origin);
+    r.direct_cost = oracle.Cost(r.origin, r.destination);
+    r.deadline = rng.NextUniform(1.2, 2.2) * r.direct_cost;
+    r.passengers = int32_t(rng.NextInt(1, 2));
+    return r;
+  };
+
+  VertexId taxi_loc = random_vertex();
+  int32_t capacity = 4;
+  Schedule base;
+  for (int k = 0; k < 3; ++k) {
+    RideRequest r = random_request(k);
+    InsertionResult ins =
+        FindBestInsertion(base, r, taxi_loc, 0.0, 0, capacity, cost);
+    if (ins.found) base = ins.schedule;
+  }
+  const size_t m = base.size();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    RideRequest r = random_request(100 + trial);
+    InsertionResult unmasked =
+        FindBestInsertion(base, r, taxi_loc, 0.0, 0, capacity, cost);
+
+    // All-ones mask == no mask, for both searches.
+    InsertionSlotMask ones;
+    ones.pickup.assign(m + 1, 1);
+    ones.dropoff.assign(m + 1, 1);
+    InsertionResult with_ones =
+        FindBestInsertion(base, r, taxi_loc, 0.0, 0, capacity, cost, &ones);
+    InsertionResult dp_ones =
+        FindBestInsertionDp(base, r, taxi_loc, 0.0, 0, capacity, cost, &ones);
+    EXPECT_EQ(with_ones.found, unmasked.found);
+    EXPECT_EQ(dp_ones.found, unmasked.found);
+    if (unmasked.found) {
+      EXPECT_EQ(with_ones.pickup_pos, unmasked.pickup_pos);
+      EXPECT_EQ(with_ones.dropoff_pos, unmasked.dropoff_pos);
+      EXPECT_DOUBLE_EQ(with_ones.detour, unmasked.detour);
+      EXPECT_NEAR(dp_ones.detour, unmasked.detour, 1e-6);
+    }
+
+    // Random mask: DP and exhaustive search must agree with each other
+    // on the restricted slot set (this is what licenses the DP to take
+    // the ellipse screen's masks).
+    InsertionSlotMask random_mask;
+    random_mask.pickup.assign(m + 1, 0);
+    random_mask.dropoff.assign(m + 1, 0);
+    for (size_t i = 0; i <= m; ++i) {
+      random_mask.pickup[i] = rng.NextInt(0, 1) != 0;
+      random_mask.dropoff[i] = rng.NextInt(0, 1) != 0;
+    }
+    InsertionResult naive = FindBestInsertion(base, r, taxi_loc, 0.0, 0,
+                                              capacity, cost, &random_mask);
+    InsertionResult dp = FindBestInsertionDp(base, r, taxi_loc, 0.0, 0,
+                                             capacity, cost, &random_mask);
+    ASSERT_EQ(naive.found, dp.found) << "trial " << trial;
+    if (naive.found) {
+      EXPECT_NEAR(naive.detour, dp.detour, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(dp.check.feasible);
+      // The masked winner honors the mask.
+      EXPECT_TRUE(random_mask.pickup[naive.pickup_pos]);
+      EXPECT_TRUE(random_mask.dropoff[naive.dropoff_pos]);
+      // A masked search can never beat the unmasked optimum.
+      ASSERT_TRUE(unmasked.found);
+      EXPECT_GE(naive.detour, unmasked.detour - 1e-9);
+    }
+
+    // A mask that keeps the unmasked winner's slots (clearing others at
+    // random) must return exactly the unmasked optimum — the producer
+    // contract: clearing only non-optimal slots never changes the result.
+    if (unmasked.found) {
+      InsertionSlotMask keep = random_mask;
+      keep.pickup[unmasked.pickup_pos] = 1;
+      keep.dropoff[unmasked.dropoff_pos] = 1;
+      InsertionResult kept = FindBestInsertionDp(base, r, taxi_loc, 0.0, 0,
+                                                 capacity, cost, &keep);
+      ASSERT_TRUE(kept.found);
+      EXPECT_NEAR(kept.detour, unmasked.detour, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, InsertionMaskEquivalence,
+                         ::testing::Range(0, 8));
+
+TEST(InsertionMaskTest, AllZeroMaskFindsNothing) {
+  RideRequest b = MakeRequest(2, 4, 6, 0.0, 10.0);
+  InsertionSlotMask zeros;
+  zeros.pickup.assign(1, 0);
+  zeros.dropoff.assign(1, 0);
+  EXPECT_FALSE(
+      FindBestInsertion(Schedule(), b, 0, 0.0, 0, 3, LineCost, &zeros).found);
+  EXPECT_FALSE(
+      FindBestInsertionDp(Schedule(), b, 0, 0.0, 0, 3, LineCost, &zeros)
+          .found);
+}
+
 TEST(FindBestInsertionDpTest, OnboardPassengersRestrictCapacity) {
   RideRequest b = MakeRequest(2, 4, 6, 0.0, 10.0, 2);
   // Taxi already carries 2 of 3 seats: a 2-passenger party cannot fit.

@@ -39,7 +39,7 @@ bool HasKey(const std::string& json, const std::string& key) {
 }
 
 void ValidateReportSchema(const std::string& json) {
-  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 5.0);
+  EXPECT_EQ(NumberAfter(json, "", "schema_version"), 6.0);
   for (const char* key :
        {"experiment", "scheme", "window", "num_taxis", "num_requests",
         "seed", "requests", "response_ms", "waiting_min", "detour_min",
@@ -64,6 +64,24 @@ void ValidateReportSchema(const std::string& json) {
        {"ch_active", "ch_shortcuts", "ch_preprocessing_ms",
         "ch_point_queries", "ch_bucket_queries", "ch_upward_settled",
         "ch_bucket_entries"}) {
+    EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
+  }
+
+  // Candidate-search path counters (added in schema_version 6). The name
+  // is one of the two ParseCandidateSearch spellings; the counters are
+  // cumulative and zero on the index path.
+  EXPECT_TRUE(HasKey(json, "candidate_search")) << "missing candidate_search";
+  EXPECT_TRUE(json.find("\"candidate_search\": \"index\"") !=
+                  std::string::npos ||
+              json.find("\"candidate_search\":\"index\"") !=
+                  std::string::npos ||
+              json.find("\"candidate_search\": \"ch_buckets\"") !=
+                  std::string::npos ||
+              json.find("\"candidate_search\":\"ch_buckets\"") !=
+                  std::string::npos)
+      << "candidate_search must be index|ch_buckets";
+  for (const char* key : {"bucket_candidates", "bucket_maintenance_ms",
+                          "slots_screened", "ellipse_pruned"}) {
     EXPECT_GE(NumberAfter(json, "routing", key), 0.0) << key;
   }
 
@@ -308,6 +326,41 @@ TEST(MtshareSimCliTest, RejectsMalformedNumericFlags) {
                       std::string(flag) + "\" > /dev/null 2>&1";
     EXPECT_EQ(RunCommand(cmd), 2) << flag;
   }
+}
+
+TEST(MtshareSimCliTest, CandidatesFlagIsStrict) {
+  // --candidates selects the candidate-search path (DESIGN.md §14); the
+  // parse is exact-match, so case drift or abbreviations exit 2 instead of
+  // silently running the default path and skewing an A/B comparison.
+  for (const char* flag : {"--candidates=magic", "--candidates=",
+                           "--candidates=INDEX", "--candidates=buckets",
+                           "--candidates=ch-buckets"}) {
+    std::string cmd = std::string(MTSHARE_SIM_BINARY) + " \"" +
+                      std::string(flag) + "\" > /dev/null 2>&1";
+    EXPECT_EQ(RunCommand(cmd), 2) << flag;
+  }
+}
+
+TEST(MtshareSimCliTest, ChBucketsPathEmitsBucketCounters) {
+  std::string path = testing::TempDir() + "mtshare_sim_cli_buckets.json";
+  std::remove(path.c_str());
+  std::string cmd = std::string(MTSHARE_SIM_BINARY) +
+                    " --scheme=mt-share --rows=14 --cols=14 --taxis=20"
+                    " --requests=120 --candidates=ch_buckets --report=" +
+                    path + " > /dev/null";
+  ASSERT_EQ(RunCommand(cmd), 0) << cmd;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "report file missing: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  ValidateReportSchema(json);
+  EXPECT_NE(json.find("\"candidate_search\": \"ch_buckets\""),
+            std::string::npos);
+  EXPECT_GT(NumberAfter(json, "routing", "bucket_candidates"), 0.0);
+  EXPECT_GT(NumberAfter(json, "routing", "slots_screened"), 0.0);
+  EXPECT_EQ(NumberAfter(json, "routing", "fallback_queries"), 0.0);
+  std::remove(path.c_str());
 }
 
 TEST(MtshareSimCliTest, AcceptsFullUint64SeedRange) {

@@ -134,7 +134,8 @@ TEST_F(ServeCliTest, RejectsMalformedFlags) {
        {"--taxis=abc", "--batch-window-ms=nope", "--batch-window-ms=-3",
         "--max-queue=-1", "--gauge-every=x", "--scheme=uber-pool",
         "--oracle=magic", "--engine=warp", "--seed=-1", "--seed=abc",
-        "--seed=4.5"}) {
+        "--seed=4.5", "--candidates=magic", "--candidates=",
+        "--candidates=INDEX", "--candidates=buckets"}) {
     std::string cmd = std::string(MTSHARE_SERVE_BINARY) + " \"" +
                       std::string(flag) +
                       "\" < /dev/null > /dev/null 2>&1";

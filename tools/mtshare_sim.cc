@@ -24,6 +24,11 @@
 //   --oracle       auto | exact | lru | ch  (default auto: exact table for
 //                  small graphs, contraction hierarchy for large ones;
 //                  results identical for every backend)
+//   --candidates   index | ch_buckets       (default index: each scheme's
+//                  native candidate scan with per-taxi reachability
+//                  probes; ch_buckets = last-stop CH bucket sweeps +
+//                  detour-ellipse slot pruning, DESIGN.md §14; dispatch
+//                  decisions identical either way)
 //   --engine       event | sweep            (default event: min-heap fleet
 //                  advancement; sweep = legacy per-boundary full-fleet
 //                  walk; decision metrics identical either way)
@@ -171,6 +176,11 @@ int main(int argc, char** argv) {
   config.matching.batched_routing = GetCount(args, "batched", 1, &ok) != 0;
   if (!ParseOracleBackend(GetS(args, "oracle", "auto"), &config.oracle.backend)) {
     std::fprintf(stderr, "unknown --oracle (want auto|exact|lru|ch)\n");
+    return 2;
+  }
+  if (!ParseCandidateSearch(GetS(args, "candidates", "index"),
+                            &config.matching.candidate_search)) {
+    std::fprintf(stderr, "unknown --candidates (want index|ch_buckets)\n");
     return 2;
   }
   config.seed = seed;

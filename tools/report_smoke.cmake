@@ -15,15 +15,21 @@ if(NOT EXISTS "${REPORT_PATH}")
   message(FATAL_ERROR "report file was not written: ${REPORT_PATH}")
 endif()
 file(READ "${REPORT_PATH}" report)
-# Keys through schema_version 5 (the "serve" admission/backpressure block).
+# Keys through schema_version 6 (the candidate-search routing counters).
 foreach(key "schema_version" "response_ms" "p95" "phases" "dispatch_total_ms"
         "routing" "batch_queries" "settled_vertices" "lb_pruned"
         "fallback_queries" "serve" "batch_window_ms" "admitted" "shed"
-        "queue_depth")
+        "queue_depth" "candidate_search" "bucket_candidates"
+        "bucket_maintenance_ms" "slots_screened" "ellipse_pruned")
   if(NOT report MATCHES "\"${key}\"")
     message(FATAL_ERROR "report missing key '${key}':\n${report}")
   endif()
 endforeach()
+# The default path must label itself; a stray "ch_buckets" here means the
+# flag default regressed.
+if(NOT report MATCHES "\"candidate_search\": *\"index\"")
+  message(FATAL_ERROR "default run not labeled candidate_search=index:\n${report}")
+endif()
 # Every online request in a classic run is admitted; zero means the serve
 # counters are not wired through the engine.
 if(report MATCHES "\"admitted\": *0[,\n}]")
@@ -33,6 +39,32 @@ endif()
 # coverage hole; fail the smoke loudly rather than silently degrade.
 if(NOT report MATCHES "\"fallback_queries\": *0[,\n}]")
   message(FATAL_ERROR "report shows nonzero fallback_queries:\n${report}")
+endif()
+file(REMOVE "${REPORT_PATH}")
+
+# Same smoke on the ch_buckets candidate path (schema_version 6): the run
+# must label itself, do real sweep work, and keep the no-fallback invariant
+# — the decision metrics are equivalence-tested elsewhere; this guards the
+# CLI wiring and the counter plumbing.
+execute_process(
+  COMMAND "${SIM_BINARY}" --scheme=mt-share --rows=12 --cols=12
+          --taxis=15 --requests=80 --candidates=ch_buckets
+          --report=${REPORT_PATH}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mtshare_sim --candidates=ch_buckets exited ${rc}\n${out}\n${err}")
+endif()
+file(READ "${REPORT_PATH}" report)
+if(NOT report MATCHES "\"candidate_search\": *\"ch_buckets\"")
+  message(FATAL_ERROR "ch_buckets run not labeled:\n${report}")
+endif()
+if(report MATCHES "\"bucket_candidates\": *0[,\n}]")
+  message(FATAL_ERROR "ch_buckets run swept no candidates:\n${report}")
+endif()
+if(NOT report MATCHES "\"fallback_queries\": *0[,\n}]")
+  message(FATAL_ERROR "ch_buckets run shows nonzero fallback_queries:\n${report}")
 endif()
 file(REMOVE "${REPORT_PATH}")
 

@@ -72,6 +72,14 @@ grep -q '"event_driven": 1' "$report"
 grep -q '"heap_pops"' "$report"
 grep -q '"lazy_syncs"' "$report"
 grep -q '"arcs_stepped"' "$report"
+# The ch_buckets candidate path (schema-6 counters) must run end to end,
+# label itself, and keep the no-fallback invariant.
+build/tools/mtshare_sim --scheme=mt-share --rows=12 --cols=12 \
+  --taxis=15 --requests=80 --candidates=ch_buckets --report="$report" >/dev/null
+grep -q '"candidate_search": "ch_buckets"' "$report"
+grep -q '"bucket_candidates"' "$report"
+grep -q '"ellipse_pruned"' "$report"
+grep -q '"fallback_queries": 0' "$report"
 echo "report OK: $report"
 # One quick advancement-core micro-bench pass (both engines, small fleet)
 # to catch bit-rot in the bench harness itself.
